@@ -1,0 +1,52 @@
+package sketch_test
+
+// One testing.B benchmark per experiment in DESIGN.md §2: running
+// `go test -bench=.` regenerates every row of EXPERIMENTS.md (the
+// experiment bodies print nothing here; cmd/sketchbench prints the
+// tables). Per-operation micro-benchmarks for individual sketches live
+// in their own packages under internal/.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Morris(b *testing.B)          { benchExperiment(b, "E1") }
+func BenchmarkE2Cardinality(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3Bloom(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkE4PointQuery(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE4aConservative(b *testing.B)   { benchExperiment(b, "E4a") }
+func BenchmarkE4bDyadicRange(b *testing.B)    { benchExperiment(b, "E4b") }
+func BenchmarkE5HeavyHitters(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE5aWeightedSample(b *testing.B) { benchExperiment(b, "E5a") }
+func BenchmarkE6Quantiles(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE6aTailQuantiles(b *testing.B)  { benchExperiment(b, "E6a") }
+func BenchmarkE7Merge(b *testing.B)           { benchExperiment(b, "E7") }
+func BenchmarkE7aConcurrent(b *testing.B)     { benchExperiment(b, "E7a") }
+func BenchmarkE8HLLPP(b *testing.B)           { benchExperiment(b, "E8") }
+func BenchmarkE9AMS(b *testing.B)             { benchExperiment(b, "E9") }
+func BenchmarkE10JL(b *testing.B)             { benchExperiment(b, "E10") }
+func BenchmarkE11LSH(b *testing.B)            { benchExperiment(b, "E11") }
+func BenchmarkE12Graph(b *testing.B)          { benchExperiment(b, "E12") }
+func BenchmarkE13Robust(b *testing.B)         { benchExperiment(b, "E13") }
+func BenchmarkE14AdReach(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15Privacy(b *testing.B)        { benchExperiment(b, "E15") }
+func BenchmarkE16FetchSGD(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17REQ(b *testing.B)            { benchExperiment(b, "E17") }
+func BenchmarkE18TensorSketch(b *testing.B)   { benchExperiment(b, "E18") }
+func BenchmarkE19MatrixSketch(b *testing.B)   { benchExperiment(b, "E19") }
+func BenchmarkE20SlidingWindow(b *testing.B)  { benchExperiment(b, "E20") }
+func BenchmarkE21LpSampler(b *testing.B)      { benchExperiment(b, "E21") }
+func BenchmarkE22SparseRecovery(b *testing.B) { benchExperiment(b, "E22") }
+func BenchmarkE23ThetaAlgebra(b *testing.B)   { benchExperiment(b, "E23") }
+func BenchmarkE24Federated(b *testing.B)      { benchExperiment(b, "E24") }

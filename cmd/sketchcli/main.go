@@ -1,0 +1,240 @@
+// Command sketchcli builds sketches over newline-delimited items from
+// stdin and answers queries — the practitioner-facing tool the paper's
+// "pushing out code" pathway argues for.
+//
+// Usage:
+//
+//	sketchcli distinct [-p 14]              # count distinct lines (HLL)
+//	sketchcli topk [-k 20]                  # heavy hitters (SpaceSaving)
+//	sketchcli quantiles [-q .5,.9,.99]      # numeric quantiles (KLL)
+//	sketchcli membership -query item [...]  # Bloom filter membership
+//	sketchcli f2                            # second frequency moment (AMS)
+//
+// Examples:
+//
+//	cat access.log | awk '{print $1}' | sketchcli distinct
+//	cat words.txt | sketchcli topk -k 10
+//	cat latencies.txt | sketchcli quantiles -q 0.5,0.99
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	sketch "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "distinct":
+		err = runDistinct(args)
+	case "topk":
+		err = runTopK(args)
+	case "quantiles":
+		err = runQuantiles(args)
+	case "membership":
+		err = runMembership(args)
+	case "f2":
+		err = runF2(args)
+	case "reach":
+		err = runReach(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sketchcli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sketchcli <distinct|topk|quantiles|membership|f2> [flags]
+  distinct   [-p precision]     estimate distinct lines with HyperLogLog
+  topk       [-k counters]      heavy hitters with SpaceSaving
+  quantiles  [-q q1,q2,...]     numeric quantiles with KLL
+  membership -query item [...]  Bloom-filter membership of query items
+  f2                            second frequency moment with AMS
+  reach      [-p precision]     per-group distinct counts from "group,id" lines`)
+}
+
+func scanLines(fn func(line string)) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			fn(line)
+		}
+	}
+	return sc.Err()
+}
+
+func runDistinct(args []string) error {
+	fs := flag.NewFlagSet("distinct", flag.ExitOnError)
+	p := fs.Int("p", 14, "HLL precision (4-18)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h := sketch.NewHLL(uint8(*p), 0)
+	var n uint64
+	if err := scanLines(func(line string) { h.AddString(line); n++ }); err != nil {
+		return err
+	}
+	fmt.Printf("lines:    %d\n", n)
+	fmt.Printf("distinct: %.0f (±%.1f%% expected)\n", h.Estimate(), 100*h.StandardError())
+	fmt.Printf("sketch:   %d bytes\n", h.SizeBytes())
+	return nil
+}
+
+func runTopK(args []string) error {
+	fs := flag.NewFlagSet("topk", flag.ExitOnError)
+	k := fs.Int("k", 20, "number of counters / results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ss := sketch.NewSpaceSaving(*k * 4) // extra counters sharpen the top-k
+	if err := scanLines(func(line string) { ss.Add(line, 1) }); err != nil {
+		return err
+	}
+	entries := ss.Entries()
+	if len(entries) > *k {
+		entries = entries[:*k]
+	}
+	for i, e := range entries {
+		fmt.Printf("%3d  %-40s ~%d (>=%d)\n", i+1, e.Item, e.Count, ss.GuaranteedCount(e.Item))
+	}
+	return nil
+}
+
+func runQuantiles(args []string) error {
+	fs := flag.NewFlagSet("quantiles", flag.ExitOnError)
+	qs := fs.String("q", "0.5,0.9,0.99", "comma-separated quantiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kll := sketch.NewKLL(200, 0)
+	var skipped int
+	if err := scanLines(func(line string) {
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			skipped++
+			return
+		}
+		kll.Add(v)
+	}); err != nil {
+		return err
+	}
+	if kll.N() == 0 {
+		return fmt.Errorf("no numeric input")
+	}
+	fmt.Printf("n: %d  min: %g  max: %g\n", kll.N(), kll.Min(), kll.Max())
+	for _, qStr := range strings.Split(*qs, ",") {
+		q, err := strconv.ParseFloat(strings.TrimSpace(qStr), 64)
+		if err != nil {
+			return fmt.Errorf("bad quantile %q: %v", qStr, err)
+		}
+		fmt.Printf("q%.4g: %g\n", q, kll.Quantile(q))
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "(skipped %d non-numeric lines)\n", skipped)
+	}
+	return nil
+}
+
+func runMembership(args []string) error {
+	fs := flag.NewFlagSet("membership", flag.ExitOnError)
+	query := fs.String("query", "", "comma-separated items to test")
+	fpr := fs.Float64("fpr", 0.01, "target false positive rate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" {
+		return fmt.Errorf("membership requires -query")
+	}
+	var lines []string
+	if err := scanLines(func(line string) { lines = append(lines, line) }); err != nil {
+		return err
+	}
+	f := sketch.NewBloomWithEstimates(uint64(len(lines))+1, *fpr, 0)
+	for _, l := range lines {
+		f.AddString(l)
+	}
+	for _, q := range strings.Split(*query, ",") {
+		q = strings.TrimSpace(q)
+		verdict := "definitely absent"
+		if f.ContainsString(q) {
+			verdict = fmt.Sprintf("maybe present (FPR %.2g)", f.EstimatedFPR())
+		}
+		fmt.Printf("%-40s %s\n", q, verdict)
+	}
+	return nil
+}
+
+// runReach reads "group,id" lines and reports distinct ids per group
+// plus the deduplicated total — the ad-reach pipeline over stdin.
+func runReach(args []string) error {
+	fs := flag.NewFlagSet("reach", flag.ExitOnError)
+	p := fs.Int("p", 14, "HLL precision (4-18)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	groups := map[string]*sketch.HLLSketch{}
+	total := sketch.NewHLL(uint8(*p), 0)
+	var badLines int
+	if err := scanLines(func(line string) {
+		group, id, ok := strings.Cut(line, ",")
+		if !ok {
+			badLines++
+			return
+		}
+		h, found := groups[group]
+		if !found {
+			h = sketch.NewHLL(uint8(*p), 0)
+			groups[group] = h
+		}
+		h.AddString(id)
+		total.AddString(id)
+	}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		fmt.Printf("%-30s %.0f\n", g, groups[g].Estimate())
+	}
+	fmt.Printf("%-30s %.0f (union of all groups)\n", "TOTAL", total.Estimate())
+	if badLines > 0 {
+		fmt.Fprintf(os.Stderr, "(skipped %d malformed lines)\n", badLines)
+	}
+	return nil
+}
+
+func runF2(args []string) error {
+	fs := flag.NewFlagSet("f2", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a := sketch.NewAMS(9, 256, 0)
+	var n uint64
+	if err := scanLines(func(line string) { a.Update([]byte(line)); n++ }); err != nil {
+		return err
+	}
+	fmt.Printf("lines: %d\n", n)
+	fmt.Printf("F2 (self-join size): %.0f\n", a.F2())
+	return nil
+}

@@ -1,0 +1,53 @@
+// Graphstream demonstrates the paper's graph-sketching application
+// (§2, Ahn–Guha–McGregor): maintaining connectivity of a *dynamic*
+// graph — edges inserted AND deleted — from linear sketches. A network
+// of hosts gains links, partitions when a router's links are deleted,
+// and heals, with the sketch tracking the component structure
+// throughout; the per-vertex sketches also serialize, so the
+// connectivity query could run on a different machine than the
+// ingestion.
+package main
+
+import (
+	"fmt"
+
+	sketch "repro"
+)
+
+func main() {
+	const n = 32 // hosts
+	g := sketch.NewGraphSketch(n, 12, 7)
+
+	// Phase 1: two racks, each internally connected, joined through
+	// host 0 (rack A gateway) -- host 16 (rack B gateway).
+	for i := 0; i < 15; i++ {
+		g.AddEdge(i, i+1) // rack A chain 0..15
+	}
+	for i := 16; i < 31; i++ {
+		g.AddEdge(i, i+1) // rack B chain 16..31
+	}
+	g.AddEdge(0, 16) // the inter-rack uplink
+	fmt.Printf("phase 1: components = %d (want 1 — one fabric)\n", g.ComponentCount())
+
+	// Phase 2: the uplink is removed (maintenance). Only deletions —
+	// the case plain incremental union-find cannot handle.
+	g.RemoveEdge(0, 16)
+	fmt.Printf("phase 2: uplink deleted, components = %d (want 2 — partitioned racks)\n",
+		g.ComponentCount())
+	fmt.Printf("         host 3 and host 20 connected: %v (want false)\n", g.Connected(3, 20))
+
+	// Phase 3: redundant uplinks come online.
+	g.AddEdge(5, 21)
+	g.AddEdge(10, 26)
+	fmt.Printf("phase 3: redundant uplinks added, components = %d (want 1)\n", g.ComponentCount())
+
+	// Phase 4: one redundant uplink fails — still connected through
+	// the other.
+	g.RemoveEdge(5, 21)
+	fmt.Printf("phase 4: one uplink failed, components = %d (want 1)\n", g.ComponentCount())
+
+	forest := g.SpanningForest()
+	fmt.Printf("\nspanning forest has %d edges (want %d for a connected graph)\n",
+		len(forest), n-1)
+	fmt.Println("sample forest edges:", forest[:3])
+}

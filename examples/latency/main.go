@@ -1,0 +1,70 @@
+// Latency demonstrates big-data-era telemetry (§3): tracking service
+// latency percentiles with mergeable quantile sketches. Twenty
+// "servers" each summarize their own request latencies with KLL and
+// t-digest; a collector merges the twenty summaries and reads fleet
+// percentiles — no raw latencies ever leave the servers.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	sketch "repro"
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+func main() {
+	const servers = 20
+	const perServer = 100_000
+
+	collectorKLL := sketch.NewKLL(200, 999)
+	collectorTD := sketch.NewTDigest(100)
+	exact := sketch.NewExactQuantiles()
+
+	var wireBytes int
+	for s := 0; s < servers; s++ {
+		kll := sketch.NewKLL(200, uint64(s))
+		td := sketch.NewTDigest(100)
+		rng := randx.New(uint64(s) + 100)
+		for i := 0; i < perServer; i++ {
+			// Lognormal base latency plus a slow-server tail on two hosts.
+			ms := math.Exp(rng.Normal()*0.8 + 2.5)
+			if s >= 18 {
+				ms *= 4 // two degraded servers drive the tail
+			}
+			kll.Add(ms)
+			td.Add(ms)
+			exact.Add(ms)
+		}
+		// Ship the summaries, not the data.
+		blob, err := kll.MarshalBinary()
+		if err != nil {
+			panic(err)
+		}
+		wireBytes += len(blob)
+		var restored sketch.KLLSketch
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			panic(err)
+		}
+		if err := collectorKLL.Merge(&restored); err != nil {
+			panic(err)
+		}
+		if err := collectorTD.Merge(td); err != nil {
+			panic(err)
+		}
+	}
+
+	tbl := core.NewTable(
+		fmt.Sprintf("Fleet latency, %d servers x %d requests", servers, perServer),
+		"percentile", "KLL (merged)", "t-digest (merged)", "exact")
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		tbl.AddRow(fmt.Sprintf("p%g", q*100),
+			collectorKLL.Quantile(q), collectorTD.Quantile(q), exact.Quantile(q))
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("bytes shipped to collector: %d (vs %d for raw latencies)\n",
+		wireBytes, exact.SizeBytes())
+	fmt.Printf("collector memory: KLL %d bytes, t-digest %d bytes\n",
+		collectorKLL.SizeBytes(), collectorTD.SizeBytes())
+}

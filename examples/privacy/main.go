@@ -1,0 +1,67 @@
+// Privacy demonstrates the paper's private-data-analysis application
+// (§3): collecting a categorical distribution from a population under
+// local differential privacy with both deployed designs the paper
+// names — RAPPOR (Bloom filter + randomized response, Google) and the
+// private count-mean sketch (Count-Min + randomized response, Apple).
+package main
+
+import (
+	"fmt"
+
+	sketch "repro"
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+func main() {
+	const nClients = 30_000
+	const eps = 2.0
+	browsers := []string{"chrome", "safari", "firefox", "edge", "brave", "other"}
+	shares := []float64{0.45, 0.25, 0.12, 0.1, 0.05, 0.03}
+
+	// Each simulated client holds one private value.
+	rng := randx.New(11)
+	values := make([]string, nClients)
+	truth := map[string]float64{}
+	for c := range values {
+		u := rng.Float64()
+		acc := 0.0
+		for i, w := range shares {
+			acc += w
+			if u < acc || i == len(shares)-1 {
+				values[c] = browsers[i]
+				break
+			}
+		}
+		truth[values[c]]++
+	}
+
+	// --- RAPPOR pipeline ---
+	rap := sketch.NewRAPPOR(64, 2, eps, 13)
+	reports := make([][]bool, nClients)
+	for c, v := range values {
+		reports[c] = rap.Encode(v, uint64(c)+1) // leaves the client ε-DP
+	}
+	rapEst := rap.EstimateFrequencies(rap.Aggregate(reports), nClients, browsers)
+
+	// --- Apple-style private CMS pipeline ---
+	cms := sketch.NewPrivateCMS(256, 16, eps, 17)
+	for c, v := range values {
+		cms.Absorb(cms.EncodeClient(v, uint64(c)+100_000))
+	}
+
+	tbl := core.NewTable(
+		fmt.Sprintf("Private browser-share estimation, %d clients, eps=%.1f", nClients, eps),
+		"value", "true share", "RAPPOR est", "CMS est")
+	for _, b := range browsers {
+		tbl.AddRow(b,
+			truth[b]/nClients,
+			rapEst[b]/nClients,
+			cms.Estimate(b)/nClients)
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("per-bit flip probability at eps=%.1f: %.3f (RAPPOR)\n", eps, rap.F())
+	fmt.Println("each uploaded report is individually differentially private;")
+	fmt.Println("accuracy comes from aggregating many noisy reports — the paper's")
+	fmt.Println("point that sketches 'concentrate the information from many individuals'.")
+}

@@ -1,0 +1,69 @@
+// Quickstart: a five-minute tour of the sketch facade — distinct
+// counting, heavy hitters, quantiles, membership, and the mergeability
+// that makes all of them distributed-friendly.
+package main
+
+import (
+	"fmt"
+
+	sketch "repro"
+)
+
+func main() {
+	// 1. Count distinct items in bounded memory with HyperLogLog.
+	hll := sketch.NewHLL(14, 1) // 2^14 registers, ~0.8% error, 12 KiB
+	for i := 0; i < 1_000_000; i++ {
+		hll.AddString(fmt.Sprintf("user-%d", i%250_000)) // lots of repeats
+	}
+	fmt.Printf("distinct users ~ %.0f (true 250000)\n", hll.Estimate())
+
+	// 2. Find heavy hitters with SpaceSaving: k counters, guaranteed to
+	// hold everything above N/k.
+	ss := sketch.NewSpaceSaving(64)
+	for i := 0; i < 100_000; i++ {
+		if i%10 < 3 {
+			ss.Add("checkout", 1) // a hot endpoint
+		} else {
+			ss.Add(fmt.Sprintf("page-%d", i%5000), 1)
+		}
+	}
+	top := ss.Entries()
+	fmt.Printf("hottest item: %s (~%d hits)\n", top[0].Item, top[0].Count)
+
+	// 3. Track latency quantiles with KLL in a few KiB.
+	kll := sketch.NewKLL(200, 2)
+	for i := 0; i < 500_000; i++ {
+		kll.Add(float64(i%1000) / 10) // synthetic 0-99.9ms latencies
+	}
+	fmt.Printf("p50=%.1fms p99=%.1fms (n=%d, %d bytes)\n",
+		kll.Quantile(0.5), kll.Quantile(0.99), kll.N(), kll.SizeBytes())
+
+	// 4. Approximate set membership with a Bloom filter.
+	seen := sketch.NewBloomWithEstimates(100_000, 0.01, 3)
+	seen.AddString("alice@example.com")
+	fmt.Printf("alice known: %v, mallory known: %v\n",
+		seen.ContainsString("alice@example.com"), seen.ContainsString("mallory@example.com"))
+
+	// 5. Merge: sketches built on different machines combine without
+	// accuracy loss — the Mergeable Summaries property.
+	shard1, shard2 := sketch.NewHLL(12, 9), sketch.NewHLL(12, 9)
+	for i := 0; i < 50_000; i++ {
+		shard1.AddUint64(uint64(i))
+		shard2.AddUint64(uint64(i + 25_000)) // half overlap
+	}
+	if err := shard1.Merge(shard2); err != nil {
+		panic(err)
+	}
+	fmt.Printf("merged distinct ~ %.0f (true 75000)\n", shard1.Estimate())
+
+	// 6. Everything serializes for wire transfer or storage.
+	blob, err := shard1.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	var restored sketch.HLLSketch
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored from %d bytes, estimate %.0f\n", len(blob), restored.Estimate())
+}

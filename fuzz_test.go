@@ -1,0 +1,273 @@
+package sketch_test
+
+// Fuzz targets for every UnmarshalBinary in the library: arbitrary
+// bytes must either decode into a usable sketch or return an error —
+// never panic, never hang, never allocate unboundedly. The seed corpus
+// (valid serializations plus mutations) runs under plain `go test`;
+// `go test -fuzz=FuzzX` explores further.
+
+import (
+	"testing"
+
+	sketch "repro"
+)
+
+// corpusFor seeds a fuzzer with a valid serialization and a few
+// deterministic mutations of it.
+func corpusFor(f *testing.F, data []byte) {
+	f.Add(data)
+	if len(data) > 8 {
+		trunc := data[:len(data)/2]
+		f.Add(trunc)
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)-1] ^= 0xff
+		f.Add(flipped)
+		flipped2 := append([]byte(nil), data...)
+		flipped2[6] ^= 0x80
+		f.Add(flipped2)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("GSK1"))
+}
+
+func FuzzBloomUnmarshal(f *testing.F) {
+	b := sketch.NewBloomWithEstimates(100, 0.01, 1)
+	b.AddString("seed")
+	data, _ := b.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.BloomFilter
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddString("post")
+			_ = g.ContainsString("post")
+		}
+	})
+}
+
+func FuzzHLLUnmarshal(f *testing.F) {
+	h := sketch.NewHLL(10, 2)
+	for i := 0; i < 1000; i++ {
+		h.AddUint64(uint64(i))
+	}
+	data, _ := h.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.HLLSketch
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddUint64(42)
+			_ = g.Estimate()
+		}
+	})
+}
+
+func FuzzHLLPPUnmarshal(f *testing.F) {
+	h := sketch.NewHLLPP(10, 3)
+	for i := 0; i < 500; i++ {
+		h.AddUint64(uint64(i))
+	}
+	data, _ := h.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.HLLPPSketch
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddUint64(42)
+			_ = g.Estimate()
+		}
+	})
+}
+
+func FuzzCountMinUnmarshal(f *testing.F) {
+	c := sketch.NewCountMin(64, 3, 4)
+	c.AddString("seed")
+	data, _ := c.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.CountMin
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddString("post")
+			_ = g.EstimateString("post")
+		}
+	})
+}
+
+func FuzzCountSketchUnmarshal(f *testing.F) {
+	c := sketch.NewCountSketch(64, 3, 5)
+	c.AddUint64(7, 3)
+	data, _ := c.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.CountSketch
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddUint64(9, 1)
+			_ = g.EstimateUint64(9)
+		}
+	})
+}
+
+func FuzzKLLUnmarshal(f *testing.F) {
+	k := sketch.NewKLL(64, 6)
+	for i := 0; i < 5000; i++ {
+		k.Add(float64(i))
+	}
+	data, _ := k.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.KLLSketch
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.Add(1)
+			_ = g.Quantile(0.5)
+		}
+	})
+}
+
+func FuzzTDigestUnmarshal(f *testing.F) {
+	td := sketch.NewTDigest(50)
+	for i := 0; i < 2000; i++ {
+		td.Add(float64(i))
+	}
+	data, _ := td.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.TDigest
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.Add(1)
+			_ = g.Quantile(0.9)
+		}
+	})
+}
+
+func FuzzQDigestUnmarshal(f *testing.F) {
+	qd := sketch.NewQDigest(10, 32)
+	for i := uint64(0); i < 1000; i++ {
+		qd.Add(i%1024, 1)
+	}
+	data, _ := qd.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.QDigest
+		if err := g.UnmarshalBinary(in); err == nil {
+			_ = g.Quantile(0.5)
+		}
+	})
+}
+
+func FuzzThetaUnmarshal(f *testing.F) {
+	th := sketch.NewTheta(64, 7)
+	for i := 0; i < 5000; i++ {
+		th.AddUint64(uint64(i))
+	}
+	data, _ := th.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.ThetaSketch
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddUint64(1)
+			_ = g.Estimate()
+		}
+	})
+}
+
+func FuzzKMVUnmarshal(f *testing.F) {
+	k := sketch.NewKMV(32, 8)
+	for i := 0; i < 5000; i++ {
+		k.AddUint64(uint64(i))
+	}
+	data, _ := k.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.KMVSketch
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddUint64(1)
+			_ = g.Estimate()
+		}
+	})
+}
+
+func FuzzREQUnmarshal(f *testing.F) {
+	r := sketch.NewREQ(16, 9)
+	for i := 0; i < 5000; i++ {
+		r.Add(float64(i))
+	}
+	data, _ := r.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.REQSketch
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.Add(1)
+			_ = g.Quantile(0.99)
+		}
+	})
+}
+
+func FuzzMinHashUnmarshal(f *testing.F) {
+	m := sketch.NewMinHash(32, 10)
+	m.AddString("seed")
+	data, _ := m.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.MinHash
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddString("post")
+		}
+	})
+}
+
+func FuzzMisraGriesUnmarshal(f *testing.F) {
+	m := sketch.NewMisraGries(16)
+	m.AddString("seed")
+	data, _ := m.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.MisraGries
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddString("post")
+			_ = g.Estimate("post")
+		}
+	})
+}
+
+func FuzzSpaceSavingUnmarshal(f *testing.F) {
+	s := sketch.NewSpaceSaving(16)
+	s.AddString("seed")
+	data, _ := s.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.SpaceSaving
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddString("post")
+			_ = g.Estimate("post")
+		}
+	})
+}
+
+func FuzzMorrisUnmarshal(f *testing.F) {
+	m := sketch.NewMorrisBase(1.2, 11)
+	for i := 0; i < 1000; i++ {
+		m.Increment()
+	}
+	data, _ := m.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.MorrisCounter
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.Increment()
+			_ = g.Count()
+		}
+	})
+}
+
+func FuzzReservoirUnmarshal(f *testing.F) {
+	r := sketch.NewReservoir(8, 12)
+	for i := 0; i < 100; i++ {
+		r.AddString("item")
+	}
+	data, _ := r.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.Reservoir
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddString("post")
+			_ = g.Sample()
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package bloom implements the Bloom filter (Bloom, 1970) — the paper's
+// earliest example of a sketch — and its counting variant.
+//
+// A Bloom filter represents a set as m bits touched by k hash
+// functions. Membership queries have no false negatives and a false
+// positive rate of approximately (1 − e^{−kn/m})^k after n insertions;
+// experiment E3 verifies this curve against theory. Filters built with
+// the same shape and seed are mergeable by bitwise OR, which makes the
+// union of distributed set summaries exact (in the Bloom sense).
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/hashx"
+)
+
+// Filter is a classic Bloom filter. The zero value is not usable; use
+// New or NewWithEstimates.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of hash functions
+	seed uint64
+	n    uint64 // number of insertions (for telemetry and FPR estimation)
+}
+
+// New creates a filter with m bits and k hash functions. Hash values
+// are derived by the Kirsch–Mitzenmacher double-hashing trick from one
+// 128-bit Murmur3 pass, which preserves the asymptotic false-positive
+// rate while hashing each item only once.
+func New(m uint64, k int, seed uint64) *Filter {
+	if m == 0 {
+		panic("bloom: m must be positive")
+	}
+	if k < 1 {
+		panic("bloom: k must be >= 1")
+	}
+	return &Filter{
+		bits: make([]uint64, (m+63)/64),
+		m:    m,
+		k:    k,
+		seed: seed,
+	}
+}
+
+// NewWithEstimates sizes a filter for n expected items at target false
+// positive rate p, using the optimal m = −n ln p / (ln 2)² and
+// k = (m/n) ln 2.
+func NewWithEstimates(n uint64, p float64, seed uint64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if !(p > 0 && p < 1) {
+		panic("bloom: false positive rate must be in (0,1)")
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m == 0 {
+		m = 1
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(m, k, seed)
+}
+
+// indexes yields the k bit positions for an item via double hashing:
+// g_i(x) = h1(x) + i·h2(x) mod m.
+func (f *Filter) indexes(item []byte, fn func(pos uint64)) {
+	h1, h2 := hashx.Murmur3_128(item, f.seed)
+	// Force h2 odd so the stride cycles through the table even when m
+	// is a power of two.
+	h2 |= 1
+	for i := 0; i < f.k; i++ {
+		fn((h1 + uint64(i)*h2) % f.m)
+	}
+}
+
+// Add inserts an item.
+func (f *Filter) Add(item []byte) {
+	f.indexes(item, func(pos uint64) {
+		f.bits[pos>>6] |= 1 << (pos & 63)
+	})
+	f.n++
+}
+
+// AddString inserts a string item.
+func (f *Filter) AddString(item string) { f.Add([]byte(item)) }
+
+// Contains reports whether the item may be in the set. False positives
+// occur at the configured rate; false negatives never occur.
+func (f *Filter) Contains(item []byte) bool {
+	ok := true
+	f.indexes(item, func(pos uint64) {
+		if f.bits[pos>>6]&(1<<(pos&63)) == 0 {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// ContainsString reports whether the string item may be in the set.
+func (f *Filter) ContainsString(item string) bool { return f.Contains([]byte(item)) }
+
+// Update implements the core.Updater streaming interface.
+func (f *Filter) Update(item []byte) { f.Add(item) }
+
+// M returns the number of bits.
+func (f *Filter) M() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// N returns the number of insertions performed (including duplicates).
+func (f *Filter) N() uint64 { return f.n }
+
+// FillRatio returns the fraction of set bits, the quantity that
+// determines the realized false positive rate.
+func (f *Filter) FillRatio() float64 {
+	var ones int
+	for _, w := range f.bits {
+		ones += popcount(w)
+	}
+	return float64(ones) / float64(f.m)
+}
+
+// EstimatedFPR predicts the current false positive rate from the fill
+// ratio: fill^k.
+func (f *Filter) EstimatedFPR() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// TheoreticalFPR returns the textbook rate (1 − e^{−kn/m})^k for n
+// distinct insertions.
+func TheoreticalFPR(m uint64, k int, n uint64) float64 {
+	return math.Pow(1-math.Exp(-float64(k)*float64(n)/float64(m)), float64(k))
+}
+
+// EstimatedCardinality inverts the fill ratio to estimate the number of
+// distinct items inserted: n ≈ −(m/k) ln(1 − fill). (Swamidass & Baldi.)
+func (f *Filter) EstimatedCardinality() float64 {
+	fill := f.FillRatio()
+	if fill >= 1 {
+		return math.Inf(1)
+	}
+	return -float64(f.m) / float64(f.k) * math.Log(1-fill)
+}
+
+// Merge ORs another filter into this one; the result represents the
+// union of both sets. Shapes and seeds must match.
+func (f *Filter) Merge(other *Filter) error {
+	if f.m != other.m || f.k != other.k || f.seed != other.seed {
+		return fmt.Errorf("%w: bloom shapes (m=%d,k=%d,seed=%d) vs (m=%d,k=%d,seed=%d)",
+			core.ErrIncompatible, f.m, f.k, f.seed, other.m, other.k, other.seed)
+	}
+	for i, w := range other.bits {
+		f.bits[i] |= w
+	}
+	f.n += other.n
+	return nil
+}
+
+// Intersect ANDs another filter into this one. The result may overstate
+// the true intersection (standard Bloom semantics) but never misses a
+// common element. Shapes and seeds must match.
+func (f *Filter) Intersect(other *Filter) error {
+	if f.m != other.m || f.k != other.k || f.seed != other.seed {
+		return fmt.Errorf("%w: bloom intersect shape mismatch", core.ErrIncompatible)
+	}
+	for i, w := range other.bits {
+		f.bits[i] &= w
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (f *Filter) Clone() *Filter {
+	c := *f
+	c.bits = append([]uint64(nil), f.bits...)
+	return &c
+}
+
+// SizeBytes returns the in-memory size of the bit array, the figure the
+// space experiments report.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// MarshalBinary serializes the filter.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	w := core.NewWriter(core.TagBloom, 1)
+	w.U64(f.m)
+	w.U32(uint32(f.k))
+	w.U64(f.seed)
+	w.U64(f.n)
+	w.U64Slice(f.bits)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a filter serialized by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	r, _, err := core.NewReader(data, core.TagBloom)
+	if err != nil {
+		return err
+	}
+	m := r.U64()
+	k := int(r.U32())
+	seed := r.U64()
+	n := r.U64()
+	bits := r.U64Slice()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	if m == 0 || k < 1 || uint64(len(bits)) != (m+63)/64 {
+		return fmt.Errorf("%w: inconsistent bloom dimensions", core.ErrCorrupt)
+	}
+	f.m, f.k, f.seed, f.n, f.bits = m, k, seed, n, bits
+	return nil
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

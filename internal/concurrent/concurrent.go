@@ -1,0 +1,217 @@
+// Package concurrent provides thread-safe sketch wrappers in the
+// spirit of the Yahoo!/Apache DataSketches "fast concurrent data
+// sketches" work the paper cites (Rinberg et al., TOPC 2022): the
+// project "emphasised the need for concurrency and mergability of
+// sketches". Two designs are provided:
+//
+//   - ShardedHLL: per-goroutine HLL shards that are merged on read.
+//     Updates are entirely uncontended (the DataSketches approach of
+//     thread-local buffers), reads pay the merge.
+//   - AtomicCountMin: a Count-Min sketch whose counters are updated
+//     with atomic adds — wait-free updates, exact reads, no locks.
+//
+// Experiment E7a measures the update-throughput scaling of both
+// against a mutex-guarded baseline.
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cardinality"
+	"repro/internal/hashx"
+)
+
+// ShardedHLL is a concurrent HyperLogLog: each shard is owned by the
+// goroutines that hash to it (striped by a cheap counter), and reads
+// merge all shards into a fresh sketch.
+type ShardedHLL struct {
+	shards []shardedHLLSlot
+	p      uint8
+	seed   uint64
+	next   atomic.Uint64
+}
+
+type shardedHLLSlot struct {
+	mu  sync.Mutex
+	hll *cardinality.HLL
+	_   [40]byte // pad to a cache line to avoid false sharing of locks
+}
+
+// NewShardedHLL creates a concurrent HLL with the given number of
+// shards (use ~GOMAXPROCS) and dense precision p.
+func NewShardedHLL(shards int, p uint8, seed uint64) *ShardedHLL {
+	if shards < 1 {
+		panic("concurrent: shards must be >= 1")
+	}
+	s := &ShardedHLL{shards: make([]shardedHLLSlot, shards), p: p, seed: seed}
+	for i := range s.shards {
+		s.shards[i].hll = cardinality.NewHLL(p, seed)
+	}
+	return s
+}
+
+// Handle returns a striped writer bound to one shard. Each goroutine
+// should obtain its own handle; updates through a handle contend only
+// with other holders of the same shard.
+func (s *ShardedHLL) Handle() *HLLHandle {
+	idx := int(s.next.Add(1)-1) % len(s.shards)
+	return &HLLHandle{slot: &s.shards[idx]}
+}
+
+// HLLHandle is a shard-bound writer.
+type HLLHandle struct {
+	slot *shardedHLLSlot
+}
+
+// AddUint64 inserts an item through the handle.
+func (h *HLLHandle) AddUint64(v uint64) {
+	h.slot.mu.Lock()
+	h.slot.hll.AddUint64(v)
+	h.slot.mu.Unlock()
+}
+
+// Add inserts a byte-slice item through the handle.
+func (h *HLLHandle) Add(item []byte) {
+	h.slot.mu.Lock()
+	h.slot.hll.Add(item)
+	h.slot.mu.Unlock()
+}
+
+// Estimate merges all shards and returns the cardinality estimate.
+// Because HLL merge is the register-wise max, the result is exactly the
+// estimate a single sketch would have produced for the union of all
+// shards' inputs.
+func (s *ShardedHLL) Estimate() float64 {
+	merged := cardinality.NewHLL(s.p, s.seed)
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		clone := s.shards[i].hll.Clone()
+		s.shards[i].mu.Unlock()
+		if err := merged.Merge(clone); err != nil {
+			panic(err) // all shards share p and seed by construction
+		}
+	}
+	return merged.Estimate()
+}
+
+// AtomicCountMin is a Count-Min sketch with lock-free atomic counter
+// updates. Point queries read the counters atomically; under concurrent
+// writes an estimate is a linearizable snapshot of each counter (not of
+// the whole row set), which preserves the never-undercount property for
+// items whose updates happened-before the query.
+type AtomicCountMin struct {
+	counts []atomic.Uint64 // depth × width, row-major
+	rows   []*hashx.KWise
+	width  int
+	depth  int
+	seed   uint64
+	n      atomic.Uint64
+}
+
+// NewAtomicCountMin creates a width×depth atomic Count-Min sketch.
+func NewAtomicCountMin(width, depth int, seed uint64) *AtomicCountMin {
+	if width < 1 || depth < 1 {
+		panic("concurrent: dimensions must be positive")
+	}
+	rowSeeds := hashx.SeedSequence(seed, depth)
+	rows := make([]*hashx.KWise, depth)
+	for i := range rows {
+		rows[i] = hashx.NewKWise(2, rowSeeds[i])
+	}
+	return &AtomicCountMin{
+		counts: make([]atomic.Uint64, width*depth),
+		rows:   rows,
+		width:  width,
+		depth:  depth,
+		seed:   seed,
+	}
+}
+
+// AddUint64 adds weight to an integer item's count. Safe for concurrent
+// use without external locking.
+func (c *AtomicCountMin) AddUint64(item, weight uint64) {
+	h := hashx.HashUint64(item, c.seed)
+	for r := 0; r < c.depth; r++ {
+		j := c.rows[r].HashRange(h, c.width)
+		c.counts[r*c.width+j].Add(weight)
+	}
+	c.n.Add(weight)
+}
+
+// Add adds one occurrence of a byte-slice item.
+func (c *AtomicCountMin) Add(item []byte, weight uint64) {
+	h := hashx.XXHash64(item, c.seed)
+	for r := 0; r < c.depth; r++ {
+		j := c.rows[r].HashRange(h, c.width)
+		c.counts[r*c.width+j].Add(weight)
+	}
+	c.n.Add(weight)
+}
+
+// EstimateUint64 returns the point-query estimate for an integer item.
+func (c *AtomicCountMin) EstimateUint64(item uint64) uint64 {
+	h := hashx.HashUint64(item, c.seed)
+	est := ^uint64(0)
+	for r := 0; r < c.depth; r++ {
+		j := c.rows[r].HashRange(h, c.width)
+		if v := c.counts[r*c.width+j].Load(); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// N returns the total weight added.
+func (c *AtomicCountMin) N() uint64 { return c.n.Load() }
+
+// MutexCountMin is the baseline: a Count-Min guarded by one mutex.
+// E7a uses it to show what sharding and atomics buy.
+type MutexCountMin struct {
+	mu     sync.Mutex
+	counts [][]uint64
+	rows   []*hashx.KWise
+	width  int
+	seed   uint64
+}
+
+// NewMutexCountMin creates the mutex-guarded baseline sketch.
+func NewMutexCountMin(width, depth int, seed uint64) *MutexCountMin {
+	if width < 1 || depth < 1 {
+		panic("concurrent: dimensions must be positive")
+	}
+	counts := make([][]uint64, depth)
+	for i := range counts {
+		counts[i] = make([]uint64, width)
+	}
+	rowSeeds := hashx.SeedSequence(seed, depth)
+	rows := make([]*hashx.KWise, depth)
+	for i := range rows {
+		rows[i] = hashx.NewKWise(2, rowSeeds[i])
+	}
+	return &MutexCountMin{counts: counts, rows: rows, width: width, seed: seed}
+}
+
+// AddUint64 adds weight to an item's count under the lock.
+func (c *MutexCountMin) AddUint64(item, weight uint64) {
+	h := hashx.HashUint64(item, c.seed)
+	c.mu.Lock()
+	for r, row := range c.rows {
+		c.counts[r][row.HashRange(h, c.width)] += weight
+	}
+	c.mu.Unlock()
+}
+
+// EstimateUint64 returns the point-query estimate under the lock.
+func (c *MutexCountMin) EstimateUint64(item uint64) uint64 {
+	h := hashx.HashUint64(item, c.seed)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est := ^uint64(0)
+	for r, row := range c.rows {
+		if v := c.counts[r][row.HashRange(h, c.width)]; v < est {
+			est = v
+		}
+	}
+	return est
+}

@@ -1,0 +1,189 @@
+package concurrent
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/cardinality"
+	"repro/internal/core"
+)
+
+func TestShardedHLLMatchesSequential(t *testing.T) {
+	const n = 200000
+	const workers = 8
+	s := NewShardedHLL(workers, 12, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Handle()
+			for i := w; i < n; i += workers {
+				h.AddUint64(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The sharded estimate must equal a single-threaded sketch's
+	// estimate exactly (merge is lossless).
+	single := cardinality.NewHLL(12, 1)
+	for i := 0; i < n; i++ {
+		single.AddUint64(uint64(i))
+	}
+	if got, want := s.Estimate(), single.Estimate(); got != want {
+		t.Errorf("sharded estimate %.1f != sequential %.1f", got, want)
+	}
+}
+
+func TestShardedHLLConcurrentReads(t *testing.T) {
+	s := NewShardedHLL(4, 10, 2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Handle()
+			for i := 0; i < 50000; i++ {
+				h.AddUint64(uint64(w)<<32 | uint64(i))
+			}
+		}(w)
+	}
+	// Reader racing the writers; must never panic and estimates must
+	// stay sensible throughout.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if est := s.Estimate(); est < 0 {
+					t.Error("negative estimate")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if err := core.RelErr(s.Estimate(), 200000); err > 0.1 {
+		t.Errorf("final estimate rel err %.3f", err)
+	}
+}
+
+func TestAtomicCountMinConcurrentNeverUndercounts(t *testing.T) {
+	const workers = 8
+	const perWorker = 20000
+	c := NewAtomicCountMin(1024, 4, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.AddUint64(uint64(i%100), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.N() != workers*perWorker {
+		t.Errorf("N = %d, want %d", c.N(), workers*perWorker)
+	}
+	for item := uint64(0); item < 100; item++ {
+		want := uint64(workers * perWorker / 100)
+		if got := c.EstimateUint64(item); got < want {
+			t.Errorf("item %d: estimate %d < true %d", item, got, want)
+		}
+	}
+}
+
+func TestAtomicCountMinByteItems(t *testing.T) {
+	c := NewAtomicCountMin(256, 4, 4)
+	c.Add([]byte("x"), 7)
+	h := c.EstimateUint64 // ensure integer path unaffected
+	_ = h
+	// Byte-item estimates go through the same counters; check via a
+	// second Add.
+	c.Add([]byte("x"), 3)
+	if c.N() != 10 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestMutexCountMinCorrectUnderConcurrency(t *testing.T) {
+	c := NewMutexCountMin(512, 4, 5)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.AddUint64(uint64(i%50), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	for item := uint64(0); item < 50; item++ {
+		if got := c.EstimateUint64(item); got < 800 {
+			t.Errorf("item %d: estimate %d < 800", item, got)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"sharded": func() { NewShardedHLL(0, 10, 1) },
+		"atomic":  func() { NewAtomicCountMin(0, 4, 1) },
+		"mutex":   func() { NewMutexCountMin(4, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Throughput benchmarks back experiment E7a.
+
+func BenchmarkAtomicCountMinParallel(b *testing.B) {
+	c := NewAtomicCountMin(4096, 4, 1)
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			c.AddUint64(i, 1)
+			i++
+		}
+	})
+}
+
+func BenchmarkMutexCountMinParallel(b *testing.B) {
+	c := NewMutexCountMin(4096, 4, 1)
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			c.AddUint64(i, 1)
+			i++
+		}
+	})
+}
+
+func BenchmarkShardedHLLParallel(b *testing.B) {
+	s := NewShardedHLL(runtime.GOMAXPROCS(0), 14, 1)
+	b.RunParallel(func(pb *testing.PB) {
+		h := s.Handle()
+		i := uint64(0)
+		for pb.Next() {
+			h.AddUint64(i)
+			i++
+		}
+	})
+}

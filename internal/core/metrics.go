@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the measurement helpers used by the experiment
+// harness (cmd/sketchbench) to compare sketch estimates against ground
+// truth: relative error, RMSE, rank error for quantiles, and simple
+// summary statistics over repeated trials.
+
+// RelErr returns |est − truth| / truth; truth must be nonzero. For
+// truth = 0 it returns the absolute error so that callers can still
+// aggregate sensibly.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// Summary holds order statistics of a sample of measurements.
+type Summary struct {
+	N                int
+	Mean, RMS        float64
+	Min, Median, Max float64
+	P90, P99         float64
+}
+
+// Summarize computes a Summary of xs. It sorts a copy.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sumSq float64
+	for _, x := range s {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(s))
+	return Summary{
+		N:      len(s),
+		Mean:   sum / n,
+		RMS:    math.Sqrt(sumSq / n),
+		Min:    s[0],
+		Median: quantileOf(s, 0.5),
+		Max:    s[len(s)-1],
+		P90:    quantileOf(s, 0.9),
+		P99:    quantileOf(s, 0.99),
+	}
+}
+
+// quantileOf reads the q-quantile from an already sorted slice using
+// the nearest-rank rule.
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// RankError returns the normalized rank error of a quantile estimate:
+// |rank(est) − wantRank| / n, where rank(est) is the number of stream
+// items ≤ est. This is the ε in the additive-error guarantee that GK,
+// KLL, q-digest and MRL all promise.
+func RankError(sortedStream []float64, est float64, wantRank int) float64 {
+	gotRank := sort.SearchFloat64s(sortedStream, est)
+	// Count ties as included: advance past equal values.
+	for gotRank < len(sortedStream) && sortedStream[gotRank] == est {
+		gotRank++
+	}
+	return math.Abs(float64(gotRank-wantRank)) / float64(len(sortedStream))
+}
+
+// Median returns the median of xs (sorting a copy).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// MedianInt64 returns the median of xs as a float (sorting a copy).
+func MedianInt64(xs []int64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return float64(s[mid])
+	}
+	return (float64(s[mid-1]) + float64(s[mid])) / 2
+}

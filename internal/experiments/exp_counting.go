@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bloom"
+	"repro/internal/cardinality"
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/hashx"
+)
+
+// distinctCounter is the common query surface of the F0 sketches.
+type distinctCounter interface {
+	AddUint64(uint64)
+	Estimate() float64
+	SizeBytes() int
+}
+
+func init() {
+	register("E1", "Morris counter: O(log log n) bits vs exact counter", runE1)
+	register("E2", "Distinct counting ladder: FM vs LogLog vs HLL vs KMV", runE2)
+	register("E3", "Bloom filter false positive rate vs theory", runE3)
+	register("E8", "HLL++ small-cardinality accuracy vs raw HLL", runE8)
+}
+
+// runE1 validates §2's asymptotic space claim: Morris counts n events
+// in O(log log n) bits where an exact binary counter needs log2(n),
+// with a relative error governed by the base.
+func runE1() *Result {
+	tbl := core.NewTable("E1: approximate counting, 32 trials per row",
+		"n", "exact bits", "morris bits", "ny bits(eps=.2)", "morris relerr", "ny relerr")
+	const trials = 32
+	for _, n := range []uint64{100, 10000, 1000000, 100000000, 10000000000} {
+		var mBits, nyBits, mErr, nyErr float64
+		for trial := 0; trial < trials; trial++ {
+			m := counter.NewMorrisBase(1.1, uint64(trial)+1)
+			ny := counter.NewNelsonYu(0.2, 0.1, uint64(trial)+1000)
+			m.IncrementN(n)
+			ny.IncrementN(n)
+			mBits += float64(m.BitsUsed())
+			nyBits += float64(ny.BitsUsed())
+			mErr += core.RelErr(m.Count(), float64(n))
+			nyErr += core.RelErr(ny.Count(), float64(n))
+		}
+		tbl.AddRow(n, counter.ExactBits(n), mBits/trials, nyBits/trials, mErr/trials, nyErr/trials)
+	}
+	return &Result{
+		ID:     "E1",
+		Title:  "Approximate counting space/accuracy",
+		Claim:  "§2: Morris (1977) counts n events in O(log log n) bits; Nelson–Yu (PODS 2022) adds optimal (ε, δ) dependence.",
+		Tables: []*core.Table{tbl},
+		Notes: []string{
+			"Exact bits grow as log2(n); Morris exponent bits grow as log2 log(n).",
+			"Nelson–Yu repetitions buy the (ε, δ) guarantee at a log(1/δ) factor.",
+		},
+	}
+}
+
+// runE2 traces the F0 lineage the paper narrates: FM's O(log n)-bit
+// bitmaps, LogLog's O(log log n)-bit registers, HLL's better constant
+// (1.04/√m vs 1.30/√m), and KMV for comparison, at matched substream
+// counts.
+func runE2() *Result {
+	tbl := core.NewTable("E2: distinct counting at m=4096 substreams, n=1e6 distinct, 8 trials",
+		"sketch", "bytes", "mean relerr", "theory stderr")
+	const n = 1000000
+	const trials = 8
+	type mk struct {
+		name   string
+		build  func(seed uint64) distinctCounter
+		theory float64
+	}
+	sketches := []mk{
+		{"FM/PCSA", func(s uint64) distinctCounter { return cardinality.NewFM(4096, s) }, 0.78 / math.Sqrt(4096)},
+		{"LogLog", func(s uint64) distinctCounter { return cardinality.NewLogLog(12, s) }, 1.30 / math.Sqrt(4096)},
+		{"HLL", func(s uint64) distinctCounter { return cardinality.NewHLL(12, s) }, 1.04 / math.Sqrt(4096)},
+		{"KMV", func(s uint64) distinctCounter { return cardinality.NewKMV(4096, s) }, 1 / math.Sqrt(4094)},
+	}
+	for _, s := range sketches {
+		var totalErr float64
+		var bytes int
+		for trial := 0; trial < trials; trial++ {
+			sk := s.build(uint64(trial) + 1)
+			for i := 0; i < n; i++ {
+				sk.AddUint64(uint64(i) + uint64(trial)<<40)
+			}
+			totalErr += core.RelErr(sk.Estimate(), n)
+			bytes = sk.SizeBytes()
+		}
+		tbl.AddRow(s.name, bytes, totalErr/trials, s.theory)
+	}
+
+	sweep := core.NewTable("E2b: HLL error vs precision (n=1e6, 8 trials)",
+		"p", "registers", "bytes", "mean relerr", "1.04/sqrt(m)")
+	for _, p := range []uint8{8, 10, 12, 14} {
+		var totalErr float64
+		var bytes int
+		const trials = 8
+		for trial := 0; trial < trials; trial++ {
+			h := cardinality.NewHLL(p, uint64(trial)+1)
+			for i := 0; i < n; i++ {
+				h.AddUint64(uint64(i) + uint64(trial)<<40)
+			}
+			totalErr += core.RelErr(h.Estimate(), n)
+			bytes = h.SizeBytes()
+		}
+		m := 1 << p
+		sweep.AddRow(p, m, bytes, totalErr/trials, 1.04/math.Sqrt(float64(m)))
+	}
+	return &Result{
+		ID:     "E2",
+		Title:  "Distinct-counting space/accuracy ladder",
+		Claim:  "§2: LogLog reduced per-substream space from log n to log log n bits; HLL 'further squeezed the space cost'; error ≈ 1.04/√m.",
+		Tables: []*core.Table{tbl, sweep},
+	}
+}
+
+// runE3 sweeps bits-per-key and checks the realized Bloom false
+// positive rate against (1 − e^{−kn/m})^k.
+func runE3() *Result {
+	tbl := core.NewTable("E3: Bloom filter FPR, n=50k keys, 200k probes",
+		"bits/key", "k", "measured FPR", "theory FPR")
+	const n = 50000
+	const probes = 200000
+	for _, bitsPerKey := range []int{4, 6, 8, 10, 12, 16} {
+		m := uint64(bitsPerKey * n)
+		k := int(math.Round(float64(bitsPerKey) * math.Ln2))
+		if k < 1 {
+			k = 1
+		}
+		f := bloom.New(m, k, 7)
+		for i := 0; i < n; i++ {
+			f.Add(hashx.Uint64Bytes(uint64(i)))
+		}
+		fp := 0
+		for i := 0; i < probes; i++ {
+			if f.Contains(hashx.Uint64Bytes(uint64(n + i))) {
+				fp++
+			}
+		}
+		tbl.AddRow(bitsPerKey, k, float64(fp)/probes, bloom.TheoreticalFPR(m, k, n))
+	}
+	return &Result{
+		ID:     "E3",
+		Title:  "Bloom filter FPR vs theory",
+		Claim:  "§2: the Bloom filter answers membership with space linear in the set size 'with a small constant of proportionality'.",
+		Tables: []*core.Table{tbl},
+	}
+}
+
+// runE8 reproduces the Heule et al. small-cardinality fix: raw HLL is
+// badly biased below ~5m/2 while the corrected estimate (linear
+// counting / sparse HLL++) stays accurate.
+func runE8() *Result {
+	tbl := core.NewTable("E8: small-cardinality bias at p=14 (m=16384), 8 trials",
+		"n", "raw HLL relerr", "HLL (lin.count) relerr", "HLL++ relerr", "HLL++ sparse?")
+	const trials = 8
+	for _, n := range []int{100, 1000, 5000, 20000, 40000, 100000, 1000000} {
+		var rawErr, corrErr, ppErr float64
+		sparse := true
+		for trial := 0; trial < trials; trial++ {
+			h := cardinality.NewHLL(14, uint64(trial)+1)
+			pp := cardinality.NewHLLPP(14, uint64(trial)+1)
+			for i := 0; i < n; i++ {
+				v := uint64(i) + uint64(trial)<<40
+				h.AddUint64(v)
+				pp.AddUint64(v)
+			}
+			rawErr += core.RelErr(h.RawEstimate(), float64(n))
+			corrErr += core.RelErr(h.Estimate(), float64(n))
+			ppErr += core.RelErr(pp.Estimate(), float64(n))
+			sparse = sparse && pp.IsSparse()
+		}
+		tbl.AddRow(n, rawErr/trials, corrErr/trials, ppErr/trials, fmt.Sprint(sparse))
+	}
+	return &Result{
+		ID:     "E8",
+		Title:  "HLL++ engineering: small-cardinality accuracy",
+		Claim:  "§2: Google's work 'optimize[d] the HLL algorithm … improving accuracy at small cardinalities' (Heule et al. 2013).",
+		Tables: []*core.Table{tbl},
+		Notes: []string{
+			"Raw HLL shows the characteristic low-range bias; the corrected and sparse estimators remove it.",
+			"Substitution: empirical bias tables replaced by linear-counting/sparse regime switching (DESIGN.md §3).",
+		},
+	}
+}

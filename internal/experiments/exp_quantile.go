@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/quantile"
+	"repro/internal/randx"
+)
+
+func init() {
+	register("E6", "Quantile summaries: accuracy vs space across the lineage", runE6)
+	register("E6a", "Ablation: t-digest vs KLL tail accuracy", runE6a)
+}
+
+// quantileSketch is the common surface of the float-valued summaries.
+type quantileSketch interface {
+	Add(float64)
+	Quantile(float64) float64
+	SizeBytes() int
+}
+
+// rankErrOf computes rank error with tie-interval semantics.
+func rankErrOf(sorted []float64, est float64, q float64) float64 {
+	n := float64(len(sorted))
+	lo := sort.SearchFloat64s(sorted, est)
+	hi := lo
+	for hi < len(sorted) && sorted[hi] == est {
+		hi++
+	}
+	target := q * n
+	switch {
+	case target < float64(lo):
+		return (float64(lo) - target) / n
+	case target > float64(hi):
+		return (target - float64(hi)) / n
+	}
+	return 0
+}
+
+// runE6 scores the whole quantile lineage on mixed workloads at
+// comparable configurations, reporting max rank error and space.
+func runE6() *Result {
+	const n = 200000
+	rng := randx.New(43)
+	workloads := map[string][]float64{}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 1e6
+	}
+	workloads["uniform"] = uniform
+	lognormal := make([]float64, n)
+	for i := range lognormal {
+		lognormal[i] = math.Exp(rng.Normal() * 2)
+	}
+	workloads["lognormal"] = lognormal
+	sorted := make([]float64, n)
+	for i := range sorted {
+		sorted[i] = float64(i)
+	}
+	workloads["sorted"] = sorted
+
+	probeQs := []float64{0.01, 0.25, 0.5, 0.75, 0.99}
+	var tables []*core.Table
+	for _, wname := range []string{"uniform", "lognormal", "sorted"} {
+		data := workloads[wname]
+		ref := append([]float64(nil), data...)
+		sort.Float64s(ref)
+		tbl := core.NewTable("E6 ("+wname+"): max rank error over q in {.01,.25,.5,.75,.99}, n=200k",
+			"summary", "max rank err", "bytes", "vs exact bytes")
+		exactBytes := n * 8
+		sketches := map[string]quantileSketch{
+			"MRL(8x512)":    quantile.NewMRL(8, 512, 47),
+			"GK(eps=.005)":  quantile.NewGK(0.005),
+			"KLL(k=200)":    quantile.NewKLL(200, 47),
+			"t-digest(100)": quantile.NewTDigest(100),
+		}
+		for _, sname := range []string{"MRL(8x512)", "GK(eps=.005)", "KLL(k=200)", "t-digest(100)"} {
+			s := sketches[sname]
+			for _, v := range data {
+				s.Add(v)
+			}
+			var maxErr float64
+			for _, q := range probeQs {
+				if e := rankErrOf(ref, s.Quantile(q), q); e > maxErr {
+					maxErr = e
+				}
+			}
+			tbl.AddRow(sname, maxErr, s.SizeBytes(),
+				float64(s.SizeBytes())/float64(exactBytes))
+		}
+		tables = append(tables, tbl)
+	}
+
+	// Q-digest on an integer workload (its native domain).
+	qd := quantile.NewQDigest(20, 2048)
+	rng2 := randx.New(53)
+	ints := make([]float64, n)
+	for i := range ints {
+		v := uint64(rng2.Intn(1 << 20))
+		qd.Add(v, 1)
+		ints[i] = float64(v)
+	}
+	sort.Float64s(ints)
+	qdt := core.NewTable("E6 (q-digest, integer domain 2^20, k=2048)",
+		"q", "rank err", "nodes", "bytes")
+	for _, q := range probeQs {
+		qdt.AddRow(q, rankErrOf(ints, float64(qd.Quantile(q)), q), qd.NodeCount(), qd.SizeBytes())
+	}
+	tables = append(tables, qdt)
+
+	return &Result{
+		ID:     "E6",
+		Title:  "Quantile lineage accuracy/space",
+		Claim:  "§2: the quantile 'keystone problem' progressed MRL → GK → q-digest → KLL, with KLL optimal.",
+		Tables: tables,
+		Notes: []string{
+			"All summaries hold far below 5% of the exact baseline's memory at n=200k.",
+			"GK is deterministic; KLL and MRL are randomized; q-digest requires a bounded integer domain.",
+		},
+	}
+}
+
+// runE6a compares tail accuracy: the t-digest's k1 scale function keeps
+// extreme percentiles tighter than uniform-guarantee sketches at
+// similar space.
+func runE6a() *Result {
+	const n = 500000
+	rng := randx.New(59)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Exp(rng.Normal() * 2)
+	}
+	ref := append([]float64(nil), data...)
+	sort.Float64s(ref)
+
+	td := quantile.NewTDigest(100)
+	kll := quantile.NewKLL(200, 61)
+	for _, v := range data {
+		td.Add(v)
+		kll.Add(v)
+	}
+	tbl := core.NewTable("E6a: tail rank error, lognormal n=500k",
+		"q", "t-digest rank err", "KLL rank err")
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 0.9999} {
+		tbl.AddRow(q,
+			rankErrOf(ref, td.Quantile(q), q),
+			rankErrOf(ref, kll.Quantile(q), q))
+	}
+	return &Result{
+		ID:     "E6a",
+		Title:  "t-digest tail accuracy ablation",
+		Claim:  "§3: t-digest is among the 'new algorithms for the core problems' adopted by libraries — its niche is tail quantiles.",
+		Tables: []*core.Table{tbl},
+		Notes: []string{
+			"t-digest bytes: " + strconv.Itoa(td.SizeBytes()) + ", KLL bytes: " + strconv.Itoa(kll.SizeBytes()),
+		},
+	}
+}

@@ -1,0 +1,281 @@
+// Package frequency implements the frequency-estimation and heavy-
+// hitter sketches the paper traces: Boyer–Moore majority (1981),
+// Misra–Gries (1982), the Count sketch (Charikar–Chen–Farach-Colton
+// 2002), the Count-Min sketch (Cormode–Muthukrishnan 2005) with
+// conservative update and dyadic range queries, and SpaceSaving
+// (Metwally et al. 2005).
+//
+// Count-Min answers point queries with additive error ε‖f‖₁ (an L1
+// guarantee); Count Sketch achieves additive error ε‖f‖₂ (an L2
+// guarantee), which is stronger on skewed data — experiment E4
+// reproduces that crossover. The deterministic counter-based summaries
+// (Misra–Gries, SpaceSaving) solve heavy hitters with ε‖f‖₁ error in
+// k = 1/ε counters and merge per Mergeable Summaries (experiments E5,
+// E7).
+package frequency
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hashx"
+)
+
+// CountMin is the Count-Min sketch: a depth×width grid of counters;
+// each item increments one counter per row (chosen by that row's hash),
+// and a point query returns the minimum over rows. Estimates never
+// undercount; with width e/ε and depth ln(1/δ) the overcount is at most
+// ε·N with probability 1−δ.
+type CountMin struct {
+	counts       [][]uint64
+	rows         []*hashx.KWise
+	width        int
+	seed         uint64
+	n            uint64 // total updates (weight), for error accounting
+	conservative bool
+}
+
+// NewCountMin creates a width×depth Count-Min sketch.
+func NewCountMin(width, depth int, seed uint64) *CountMin {
+	if width < 1 || depth < 1 {
+		panic("frequency: CountMin dimensions must be positive")
+	}
+	counts := make([][]uint64, depth)
+	for i := range counts {
+		counts[i] = make([]uint64, width)
+	}
+	rowSeeds := hashx.SeedSequence(seed, depth)
+	rows := make([]*hashx.KWise, depth)
+	for i := range rows {
+		rows[i] = hashx.NewKWise(2, rowSeeds[i])
+	}
+	return &CountMin{counts: counts, rows: rows, width: width, seed: seed}
+}
+
+// NewCountMinWithSpec sizes the sketch from an (ε, δ) contract.
+func NewCountMinWithSpec(spec core.Spec, seed uint64) (*CountMin, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	w, d := spec.CountMinShape()
+	return NewCountMin(w, d, seed), nil
+}
+
+// SetConservative enables conservative update (Estan–Varghese): an
+// update only raises the counters that are at the current minimum, to
+// the minimum+weight. This never breaks the overestimate guarantee and
+// substantially reduces error on skewed streams (ablation E4a). It must
+// be chosen before any updates and makes the sketch non-mergeable.
+func (c *CountMin) SetConservative(on bool) {
+	if c.n > 0 {
+		panic("frequency: SetConservative must be called before updates")
+	}
+	c.conservative = on
+}
+
+// Add increments the count of item by weight.
+func (c *CountMin) Add(item []byte, weight uint64) {
+	c.AddHash(hashx.XXHash64(item, c.seed), weight)
+}
+
+// AddUint64 increments an integer item's count by weight.
+func (c *CountMin) AddUint64(item, weight uint64) {
+	c.AddHash(hashx.HashUint64(item, c.seed), weight)
+}
+
+// AddString increments a string item's count by one.
+func (c *CountMin) AddString(item string) { c.Add([]byte(item), 1) }
+
+// Update implements core.Updater (weight 1).
+func (c *CountMin) Update(item []byte) { c.Add(item, 1) }
+
+// AddHash folds a pre-hashed item into the sketch.
+func (c *CountMin) AddHash(h, weight uint64) {
+	if c.conservative {
+		est := c.estimateHash(h)
+		target := est + weight
+		for r, row := range c.rows {
+			j := row.HashRange(h, c.width)
+			if c.counts[r][j] < target {
+				c.counts[r][j] = target
+			}
+		}
+	} else {
+		for r, row := range c.rows {
+			c.counts[r][row.HashRange(h, c.width)] += weight
+		}
+	}
+	c.n += weight
+}
+
+// Estimate returns the point-query estimate for item: an overestimate
+// of the true count by at most ε‖f‖₁ with probability 1−δ.
+func (c *CountMin) Estimate(item []byte) uint64 {
+	return c.estimateHash(hashx.XXHash64(item, c.seed))
+}
+
+// EstimateUint64 returns the point-query estimate for an integer item.
+func (c *CountMin) EstimateUint64(item uint64) uint64 {
+	return c.estimateHash(hashx.HashUint64(item, c.seed))
+}
+
+// EstimateString returns the point-query estimate for a string item.
+func (c *CountMin) EstimateString(item string) uint64 { return c.Estimate([]byte(item)) }
+
+func (c *CountMin) estimateHash(h uint64) uint64 {
+	est := uint64(math.MaxUint64)
+	for r, row := range c.rows {
+		if v := c.counts[r][row.HashRange(h, c.width)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// EstimatePerRow exposes each row's counter value and bucket index for
+// an item. Wrappers that post-process counters (the differentially
+// private sketch in internal/privacy adds per-counter noise) need the
+// per-row view rather than the final minimum.
+func (c *CountMin) EstimatePerRow(item []byte) (counts []uint64, buckets []int) {
+	h := hashx.XXHash64(item, c.seed)
+	counts = make([]uint64, len(c.rows))
+	buckets = make([]int, len(c.rows))
+	for r, row := range c.rows {
+		j := row.HashRange(h, c.width)
+		buckets[r] = j
+		counts[r] = c.counts[r][j]
+	}
+	return counts, buckets
+}
+
+// InnerProduct estimates the inner product Σᵢ f(i)·g(i) of the two
+// frequency vectors summarized by compatible sketches, via the minimum
+// over rows of the row dot products. Used for join-size estimation.
+func (c *CountMin) InnerProduct(other *CountMin) (uint64, error) {
+	if err := c.compatible(other); err != nil {
+		return 0, err
+	}
+	best := uint64(math.MaxUint64)
+	for r := range c.counts {
+		var dot uint64
+		for j := range c.counts[r] {
+			dot += c.counts[r][j] * other.counts[r][j]
+		}
+		if dot < best {
+			best = dot
+		}
+	}
+	return best, nil
+}
+
+// N returns the total weight added.
+func (c *CountMin) N() uint64 { return c.n }
+
+// Width returns the sketch width.
+func (c *CountMin) Width() int { return c.width }
+
+// Depth returns the sketch depth.
+func (c *CountMin) Depth() int { return len(c.counts) }
+
+// ErrorBound returns the additive error bound ε·N = (e/width)·N implied
+// by the current stream weight.
+func (c *CountMin) ErrorBound() float64 {
+	return math.E / float64(c.width) * float64(c.n)
+}
+
+// SizeBytes returns the counter storage size.
+func (c *CountMin) SizeBytes() int { return len(c.counts) * c.width * 8 }
+
+func (c *CountMin) compatible(other *CountMin) error {
+	if c.width != other.width || len(c.counts) != len(other.counts) || c.seed != other.seed {
+		return fmt.Errorf("%w: count-min %dx%d/seed=%d vs %dx%d/seed=%d",
+			core.ErrIncompatible, c.width, len(c.counts), c.seed,
+			other.width, len(other.counts), other.seed)
+	}
+	return nil
+}
+
+// Merge adds another sketch's counters cell-wise; the result summarizes
+// the combined stream exactly as if one sketch had seen it all.
+// Conservative-update sketches cannot be merged (their counters are not
+// linear), and attempting to merge them returns ErrIncompatible.
+func (c *CountMin) Merge(other *CountMin) error {
+	if err := c.compatible(other); err != nil {
+		return err
+	}
+	if c.conservative || other.conservative {
+		return fmt.Errorf("%w: conservative-update sketches are not mergeable", core.ErrIncompatible)
+	}
+	for r := range c.counts {
+		for j := range c.counts[r] {
+			c.counts[r][j] += other.counts[r][j]
+		}
+	}
+	c.n += other.n
+	return nil
+}
+
+// Clone returns a deep copy.
+func (c *CountMin) Clone() *CountMin {
+	cp := NewCountMin(c.width, len(c.counts), c.seed)
+	cp.conservative = c.conservative
+	cp.n = c.n
+	for r := range c.counts {
+		copy(cp.counts[r], c.counts[r])
+	}
+	return cp
+}
+
+// MarshalBinary serializes the sketch.
+func (c *CountMin) MarshalBinary() ([]byte, error) {
+	w := core.NewWriter(core.TagCountMin, 1)
+	w.U32(uint32(c.width))
+	w.U32(uint32(len(c.counts)))
+	w.U64(c.seed)
+	w.U64(c.n)
+	if c.conservative {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	for _, row := range c.counts {
+		w.U64Slice(row)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary.
+func (c *CountMin) UnmarshalBinary(data []byte) error {
+	r, _, err := core.NewReader(data, core.TagCountMin)
+	if err != nil {
+		return err
+	}
+	width := int(r.U32())
+	depth := int(r.U32())
+	seed := r.U64()
+	n := r.U64()
+	conservative := r.U8() == 1
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if width < 1 || depth < 1 || depth > 64 {
+		return fmt.Errorf("%w: count-min dims %dx%d", core.ErrCorrupt, width, depth)
+	}
+	counts := make([][]uint64, depth)
+	for i := range counts {
+		counts[i] = r.U64Slice()
+		if len(counts[i]) != width {
+			return fmt.Errorf("%w: count-min row %d length %d", core.ErrCorrupt, i, len(counts[i]))
+		}
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	fresh := NewCountMin(width, depth, seed)
+	fresh.counts = counts
+	fresh.n = n
+	fresh.conservative = conservative
+	*c = *fresh
+	return nil
+}

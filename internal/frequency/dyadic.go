@@ -1,0 +1,172 @@
+package frequency
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// DyadicCountMin supports range-count queries over an integer domain
+// [0, 2^levels) by keeping one Count-Min sketch per dyadic level: level
+// L summarizes the stream with items mapped to their length-2^L dyadic
+// bucket. Any range decomposes into at most 2·levels dyadic intervals,
+// so a range query sums that many point queries (ablation E4b). Range
+// sums also yield approximate quantiles by binary search — the original
+// Count-Min paper's application.
+type DyadicCountMin struct {
+	levels   int
+	sketches []*CountMin // sketches[L] counts buckets of size 2^L
+	n        uint64
+}
+
+// NewDyadicCountMin creates a dyadic structure over [0, 2^levels) with
+// the given per-level sketch dimensions.
+func NewDyadicCountMin(levels, width, depth int, seed uint64) *DyadicCountMin {
+	if levels < 1 || levels > 32 {
+		panic("frequency: dyadic levels must be in [1,32]")
+	}
+	sketches := make([]*CountMin, levels+1)
+	for l := range sketches {
+		sketches[l] = NewCountMin(width, depth, seed+uint64(l)*0x9e3779b97f4a7c15)
+	}
+	return &DyadicCountMin{levels: levels, sketches: sketches}
+}
+
+// Add increments the count of value x by weight. x must be inside the
+// domain.
+func (d *DyadicCountMin) Add(x uint64, weight uint64) {
+	if x >= 1<<uint(d.levels) {
+		panic(fmt.Sprintf("frequency: value %d outside dyadic domain 2^%d", x, d.levels))
+	}
+	for l := 0; l <= d.levels; l++ {
+		d.sketches[l].AddUint64(x>>uint(l), weight)
+	}
+	d.n += weight
+}
+
+// RangeCount estimates the total weight of values in [lo, hi]
+// inclusive. Error is at most 2·levels·ε·N with the per-sketch δ.
+func (d *DyadicCountMin) RangeCount(lo, hi uint64) uint64 {
+	if lo > hi {
+		return 0
+	}
+	max := uint64(1)<<uint(d.levels) - 1
+	if hi > max {
+		hi = max
+	}
+	var total uint64
+	// Standard dyadic decomposition: greedily take the largest aligned
+	// block starting at lo that fits within [lo, hi].
+	for lo <= hi {
+		l := d.levels
+		if lo > 0 && bits.TrailingZeros64(lo) < l {
+			l = bits.TrailingZeros64(lo)
+		}
+		for l > 0 && lo+(1<<uint(l))-1 > hi {
+			l--
+		}
+		total += d.sketches[l].EstimateUint64(lo >> uint(l))
+		lo += 1 << uint(l)
+		if lo == 0 { // cannot happen with levels <= 32, but keep the loop total
+			break
+		}
+	}
+	return total
+}
+
+// Quantile returns an approximate q-quantile of the inserted values:
+// the smallest x whose estimated rank is at least q·N.
+func (d *DyadicCountMin) Quantile(q float64) uint64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(d.n))
+	var lo, hi uint64 = 0, (1 << uint(d.levels)) - 1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if d.RangeCount(0, mid) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HeavyHitters returns the values whose estimated count reaches
+// threshold·N, found by descending the dyadic tree: a block is explored
+// only if its range count reaches the threshold, so the query touches
+// O((1/φ)·levels) point queries instead of the whole domain — the
+// hierarchical heavy-hitters search from the Count-Min paper.
+func (d *DyadicCountMin) HeavyHitters(threshold float64) []ValueCount {
+	cut := uint64(threshold * float64(d.n))
+	if cut == 0 {
+		cut = 1
+	}
+	var out []ValueCount
+	// Explore blocks (level, prefix) whose count clears the cut.
+	type block struct {
+		level  int
+		prefix uint64
+	}
+	stack := []block{{d.levels, 0}}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		est := d.sketches[b.level].EstimateUint64(b.prefix)
+		if est < cut {
+			continue
+		}
+		if b.level == 0 {
+			out = append(out, ValueCount{Value: b.prefix, Count: est})
+			continue
+		}
+		stack = append(stack,
+			block{b.level - 1, b.prefix << 1},
+			block{b.level - 1, b.prefix<<1 | 1})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// ValueCount is one heavy hitter reported by DyadicCountMin.
+type ValueCount struct {
+	Value uint64
+	Count uint64
+}
+
+// N returns the total inserted weight.
+func (d *DyadicCountMin) N() uint64 { return d.n }
+
+// SizeBytes returns the total storage across levels.
+func (d *DyadicCountMin) SizeBytes() int {
+	total := 0
+	for _, s := range d.sketches {
+		total += s.SizeBytes()
+	}
+	return total
+}
+
+// Merge combines with a compatible dyadic structure level by level.
+func (d *DyadicCountMin) Merge(other *DyadicCountMin) error {
+	if d.levels != other.levels {
+		return fmt.Errorf("%w: dyadic levels %d vs %d", core.ErrIncompatible, d.levels, other.levels)
+	}
+	for l := range d.sketches {
+		if err := d.sketches[l].Merge(other.sketches[l]); err != nil {
+			return err
+		}
+	}
+	d.n += other.n
+	return nil
+}

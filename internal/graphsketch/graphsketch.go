@@ -1,0 +1,241 @@
+// Package graphsketch implements the Ahn–Guha–McGregor graph sketch
+// (SODA 2012), the paper's example of sketching complex data types:
+// each vertex keeps an L0-sampler sketch of its signed edge-incidence
+// vector. Because the samplers are linear, the sketch of a component
+// (the sum of its vertices' sketches) cancels internal edges and
+// samples only *cut* edges — which is exactly what Borůvka's algorithm
+// needs to find spanning forests and connectivity in O(polylog) passes
+// over sketches instead of the edge list (experiment E12).
+//
+// Edge encoding: the edge {u, v} with u < v maps to index u·n + v of
+// the incidence vector; vertex u records it with weight +1 and vertex v
+// with weight −1, so summing the sketches of u and v cancels it.
+package graphsketch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+)
+
+// Sketch summarizes a graph on n vertices for connectivity queries.
+// Multiple independent sampler rounds are kept because each Borůvka
+// round must use fresh randomness.
+type Sketch struct {
+	n        int
+	rounds   int
+	samplers [][]*sample.L0Sampler // rounds × vertices
+	seed     uint64
+}
+
+// New creates a graph sketch for n vertices with the given number of
+// Borůvka rounds (log₂ n rounds suffice; a couple extra add safety).
+func New(n int, rounds int, seed uint64) *Sketch {
+	if n < 1 {
+		panic("graphsketch: n must be positive")
+	}
+	if rounds < 1 {
+		panic("graphsketch: rounds must be positive")
+	}
+	samplers := make([][]*sample.L0Sampler, rounds)
+	for r := range samplers {
+		samplers[r] = make([]*sample.L0Sampler, n)
+		for v := range samplers[r] {
+			// All samplers within a round share hash seeds (required
+			// for linearity across vertices); rounds differ.
+			samplers[r][v] = sample.NewL0Sampler(12, seed+uint64(r)*0x9e3779b97f4a7c15)
+		}
+	}
+	return &Sketch{n: n, rounds: rounds, samplers: samplers, seed: seed}
+}
+
+// edgeIndex maps {u, v} to its incidence-vector coordinate.
+func (s *Sketch) edgeIndex(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)*uint64(s.n) + uint64(v)
+}
+
+// decodeEdge inverts edgeIndex.
+func (s *Sketch) decodeEdge(idx uint64) (int, int) {
+	return int(idx / uint64(s.n)), int(idx % uint64(s.n))
+}
+
+// AddEdge inserts the undirected edge {u, v}.
+func (s *Sketch) AddEdge(u, v int) { s.updateEdge(u, v, 1) }
+
+// RemoveEdge deletes the undirected edge {u, v} (dynamic graphs are the
+// point of the linear-sketch approach).
+func (s *Sketch) RemoveEdge(u, v int) { s.updateEdge(u, v, -1) }
+
+func (s *Sketch) updateEdge(u, v int, w int64) {
+	if u == v {
+		panic("graphsketch: self loops are not representable")
+	}
+	if u < 0 || v < 0 || u >= s.n || v >= s.n {
+		panic(fmt.Sprintf("graphsketch: vertex out of range [0,%d)", s.n))
+	}
+	idx := s.edgeIndex(u, v)
+	lo, hi := u, v
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for r := 0; r < s.rounds; r++ {
+		s.samplers[r][lo].Update(idx, w)
+		s.samplers[r][hi].Update(idx, -w)
+	}
+}
+
+// N returns the number of vertices.
+func (s *Sketch) N() int { return s.n }
+
+// Merge combines edge sets: sketches of two edge-disjoint streams (or
+// streams whose insertions/deletions net out) over the same vertex set
+// add linearly.
+func (s *Sketch) Merge(other *Sketch) error {
+	if s.n != other.n || s.rounds != other.rounds || s.seed != other.seed {
+		return fmt.Errorf("%w: graph sketch shape mismatch", core.ErrIncompatible)
+	}
+	for r := range s.samplers {
+		for v := range s.samplers[r] {
+			if err := s.samplers[r][v].Merge(other.samplers[r][v]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ConnectedComponents runs sketch-space Borůvka: in each round, every
+// current component samples one cut edge from the merged sketches of
+// its vertices and unions along it. Returns the component id of every
+// vertex. With enough rounds the result equals the true components with
+// high probability.
+func (s *Sketch) ConnectedComponents() []int {
+	parent := make([]int, s.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for r := 0; r < s.rounds; r++ {
+		// Group vertices by component.
+		comps := make(map[int][]int)
+		for v := 0; v < s.n; v++ {
+			comps[find(v)] = append(comps[find(v)], v)
+		}
+		if len(comps) == 1 {
+			break
+		}
+		merged := false
+		for _, members := range comps {
+			// Sum the round-r sketches of the component's vertices.
+			agg := sample.NewL0Sampler(12, s.seed+uint64(r)*0x9e3779b97f4a7c15)
+			for _, v := range members {
+				if err := agg.Merge(s.samplers[r][v]); err != nil {
+					// Same-round samplers always share seeds; any
+					// failure is a programming error.
+					panic(err)
+				}
+			}
+			if idx, _, ok := agg.Sample(); ok {
+				u, v := s.decodeEdge(idx)
+				if find(u) != find(v) {
+					union(u, v)
+					merged = true
+				}
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+
+	// Normalize component ids.
+	out := make([]int, s.n)
+	for v := range out {
+		out[v] = find(v)
+	}
+	return out
+}
+
+// Connected reports whether u and v are in the same component.
+func (s *Sketch) Connected(u, v int) bool {
+	comps := s.ConnectedComponents()
+	return comps[u] == comps[v]
+}
+
+// ComponentCount returns the number of connected components (isolated
+// vertices count individually).
+func (s *Sketch) ComponentCount() int {
+	comps := s.ConnectedComponents()
+	seen := make(map[int]bool)
+	for _, c := range comps {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// SpanningForest returns the edges Borůvka used, one set per merge —
+// a spanning forest of the sketched graph (with high probability).
+func (s *Sketch) SpanningForest() [][2]int {
+	parent := make([]int, s.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var forest [][2]int
+	for r := 0; r < s.rounds; r++ {
+		comps := make(map[int][]int)
+		for v := 0; v < s.n; v++ {
+			comps[find(v)] = append(comps[find(v)], v)
+		}
+		if len(comps) == 1 {
+			break
+		}
+		merged := false
+		for _, members := range comps {
+			agg := sample.NewL0Sampler(12, s.seed+uint64(r)*0x9e3779b97f4a7c15)
+			for _, v := range members {
+				if err := agg.Merge(s.samplers[r][v]); err != nil {
+					panic(err)
+				}
+			}
+			if idx, _, ok := agg.Sample(); ok {
+				u, v := s.decodeEdge(idx)
+				ru, rv := find(u), find(v)
+				if ru != rv {
+					parent[ru] = rv
+					forest = append(forest, [2]int{u, v})
+					merged = true
+				}
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	return forest
+}

@@ -1,0 +1,122 @@
+package hashx
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Murmur3 x64 128-bit constants (Austin Appleby's MurmurHash3,
+// public-domain algorithm).
+const (
+	murmurC1 uint64 = 0x87c37b91114253d5
+	murmurC2 uint64 = 0x4cf5ad432745937f
+)
+
+// Murmur3_128 computes the 128-bit Murmur3 (x64 variant) hash of data
+// under the given seed, returning the two 64-bit halves. HLL-family
+// sketches use the first half for register selection and the second for
+// the rank pattern, so a single hash pass serves both purposes — the
+// layout matches the widely deployed implementations the paper's §2
+// "data sketches project" discussion refers to.
+func Murmur3_128(data []byte, seed uint64) (uint64, uint64) {
+	h1 := seed
+	h2 := seed
+	n := len(data)
+
+	for len(data) >= 16 {
+		k1 := binary.LittleEndian.Uint64(data[0:8])
+		k2 := binary.LittleEndian.Uint64(data[8:16])
+		data = data[16:]
+
+		k1 *= murmurC1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= murmurC2
+		h1 ^= k1
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= murmurC2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= murmurC1
+		h2 ^= k2
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	var k1, k2 uint64
+	switch len(data) & 15 {
+	case 15:
+		k2 ^= uint64(data[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(data[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(data[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(data[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(data[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(data[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(data[8])
+		k2 *= murmurC2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= murmurC1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(data[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(data[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(data[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(data[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(data[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(data[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(data[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(data[0])
+		k1 *= murmurC1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= murmurC2
+		h1 ^= k1
+	}
+
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}

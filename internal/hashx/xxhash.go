@@ -1,0 +1,93 @@
+package hashx
+
+import "encoding/binary"
+
+// xxHash64 constants (Yann Collet's xxHash, public-domain algorithm).
+const (
+	prime1 uint64 = 0x9e3779b185ebca87
+	prime2 uint64 = 0xc2b2ae3d27d4eb4f
+	prime3 uint64 = 0x165667b19e3779f9
+	prime4 uint64 = 0x85ebca77c2b2ae63
+	prime5 uint64 = 0x27d4eb2f165667c5
+)
+
+// XXHash64 computes the 64-bit xxHash of data under the given seed.
+// The implementation follows the reference specification and is
+// byte-for-byte compatible with other xxHash64 implementations, which
+// makes sketch serializations portable across languages.
+func XXHash64(data []byte, seed uint64) uint64 {
+	n := len(data)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(data) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(data[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(data[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(data[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(data[24:32]))
+			data = data[32:]
+		}
+		h = rol1(v1) + rol7(v2) + rol12(v3) + rol18(v4)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+
+	h += uint64(n)
+
+	for len(data) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(data[:8]))
+		h = rol27(h)*prime1 + prime4
+		data = data[8:]
+	}
+	if len(data) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(data[:4])) * prime1
+		h = rol23(h)*prime2 + prime3
+		data = data[4:]
+	}
+	for _, b := range data {
+		h ^= uint64(b) * prime5
+		h = rol11(h) * prime1
+	}
+
+	return avalanche(h)
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = rol31(acc)
+	acc *= prime1
+	return acc
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	acc = acc*prime1 + prime4
+	return acc
+}
+
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func rol1(x uint64) uint64  { return x<<1 | x>>63 }
+func rol7(x uint64) uint64  { return x<<7 | x>>57 }
+func rol11(x uint64) uint64 { return x<<11 | x>>53 }
+func rol12(x uint64) uint64 { return x<<12 | x>>52 }
+func rol18(x uint64) uint64 { return x<<18 | x>>46 }
+func rol23(x uint64) uint64 { return x<<23 | x>>41 }
+func rol27(x uint64) uint64 { return x<<27 | x>>37 }
+func rol31(x uint64) uint64 { return x<<31 | x>>33 }

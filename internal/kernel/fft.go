@@ -1,0 +1,79 @@
+// Package kernel implements TensorSketch (Pham & Pagh, KDD 2013 — the
+// paper's citation for using sketches "to incorporate kernel
+// transformations"): an explicit feature map for the polynomial kernel
+// (⟨x,y⟩)^p computed as the Count-Sketch of the p-fold tensor product
+// x^⊗p — without ever materializing the d^p-dimensional tensor. The
+// trick is that the Count-Sketch of a tensor product is the circular
+// convolution of the factors' Count-Sketches, computed in O(p·k·log k)
+// via FFT.
+package kernel
+
+import "math"
+
+// fft computes the in-place radix-2 Cooley–Tukey FFT of a (whose
+// length must be a power of two). invert selects the inverse
+// transform (scaled by 1/n).
+func fft(re, im []float64, invert bool) {
+	n := len(re)
+	if n&(n-1) != 0 {
+		panic("kernel: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		angle := 2 * math.Pi / float64(length)
+		if !invert {
+			angle = -angle
+		}
+		wRe, wIm := math.Cos(angle), math.Sin(angle)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for i := 0; i < half; i++ {
+				a, b := start+i, start+i+half
+				uRe, uIm := re[a], im[a]
+				vRe := re[b]*curRe - im[b]*curIm
+				vIm := re[b]*curIm + im[b]*curRe
+				re[a], im[a] = uRe+vRe, uIm+vIm
+				re[b], im[b] = uRe-vRe, uIm-vIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+	if invert {
+		inv := 1 / float64(n)
+		for i := range re {
+			re[i] *= inv
+			im[i] *= inv
+		}
+	}
+}
+
+// circularConvolve returns the circular convolution of a and b (equal
+// power-of-two lengths) via FFT.
+func circularConvolve(a, b []float64) []float64 {
+	n := len(a)
+	aRe := append([]float64(nil), a...)
+	aIm := make([]float64, n)
+	bRe := append([]float64(nil), b...)
+	bIm := make([]float64, n)
+	fft(aRe, aIm, false)
+	fft(bRe, bIm, false)
+	for i := 0; i < n; i++ {
+		re := aRe[i]*bRe[i] - aIm[i]*bIm[i]
+		im := aRe[i]*bIm[i] + aIm[i]*bRe[i]
+		aRe[i], aIm[i] = re, im
+	}
+	fft(aRe, aIm, true)
+	return aRe
+}

@@ -1,0 +1,97 @@
+package robust
+
+import (
+	"math"
+
+	"repro/internal/cardinality"
+)
+
+// Distinct is an adversarially robust distinct counter: the
+// sketch-switching construction applied to HyperLogLog. An adaptive
+// adversary that observes HLL estimates can hunt for items that leave
+// the registers unchanged (their hashes land under existing maxima)
+// and inflate the true cardinality far beyond the reported one; the
+// wrapper's fresh-copy discipline bounds how much any copy's
+// randomness can be exploited. Insertion-only F0 is monotone, so
+// λ = O(log_{1+ε} n) copies cover a stream of n distinct items.
+type Distinct struct {
+	copies []*cardinality.HLL
+	cur    int
+	last   float64
+	eps    float64
+	burned bool
+}
+
+// NewDistinct creates a robust distinct counter with switching
+// threshold eps and lambda independent HLL copies of precision p.
+func NewDistinct(eps float64, lambda int, p uint8, seed uint64) *Distinct {
+	if !(eps > 0 && eps < 1) {
+		panic("robust: eps must be in (0,1)")
+	}
+	if lambda < 1 {
+		panic("robust: lambda must be >= 1")
+	}
+	copies := make([]*cardinality.HLL, lambda)
+	for i := range copies {
+		copies[i] = cardinality.NewHLL(p, seed+uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return &Distinct{copies: copies, eps: eps, last: math.NaN()}
+}
+
+// DistinctLambdaFor returns the copy count needed for streams with up
+// to maxDistinct distinct items.
+func DistinctLambdaFor(eps, maxDistinct float64) int {
+	if maxDistinct < 2 {
+		maxDistinct = 2
+	}
+	return int(math.Ceil(math.Log(maxDistinct)/math.Log1p(eps))) + 1
+}
+
+// Add inserts an item into every copy.
+func (d *Distinct) Add(item []byte) {
+	for _, c := range d.copies {
+		c.Add(item)
+	}
+}
+
+// AddUint64 inserts an integer item into every copy.
+func (d *Distinct) AddUint64(v uint64) {
+	for _, c := range d.copies {
+		c.AddUint64(v)
+	}
+}
+
+// Estimate returns the robust cardinality estimate with (1+ε)-quantized
+// output changes.
+func (d *Distinct) Estimate() float64 {
+	if math.IsNaN(d.last) {
+		d.last = d.copies[d.cur].Estimate()
+		return d.last
+	}
+	cur := d.copies[d.cur].Estimate()
+	if cur >= d.last/(1+d.eps) && cur <= d.last*(1+d.eps) {
+		return d.last
+	}
+	if d.cur+1 == len(d.copies) {
+		d.burned = true
+		return d.last
+	}
+	d.cur++
+	d.last = d.copies[d.cur].Estimate()
+	return d.last
+}
+
+// Exhausted reports whether all copies have been exposed.
+func (d *Distinct) Exhausted() bool { return d.burned }
+
+// Copies returns λ.
+func (d *Distinct) Copies() int { return len(d.copies) }
+
+// SizeBytes returns the total memory across copies.
+func (d *Distinct) SizeBytes() int {
+	total := 0
+	for _, c := range d.copies {
+		total += c.SizeBytes()
+	}
+	return total
+}

@@ -1,0 +1,149 @@
+package robust
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+func TestDistinctTracksHonestStream(t *testing.T) {
+	const eps = 0.2
+	d := NewDistinct(eps, DistinctLambdaFor(eps, 1e6), 12, 1)
+	for i := uint64(0); i < 100000; i++ {
+		d.AddUint64(i)
+		if i%5000 == 4999 {
+			got := d.Estimate()
+			want := float64(i + 1)
+			// Allow the switching quantization (1+eps) on top of HLL
+			// error.
+			if got < want/(1+3*eps) || got > want*(1+3*eps) {
+				t.Fatalf("at n=%d: robust estimate %.0f", i+1, got)
+			}
+		}
+	}
+	if d.Exhausted() {
+		t.Error("honest stream exhausted the copies")
+	}
+}
+
+func TestDistinctOutputQuantized(t *testing.T) {
+	const lambda = 30
+	d := NewDistinct(0.3, lambda, 10, 2)
+	changes := 0
+	last := math.NaN()
+	for i := uint64(0); i < 200000; i++ {
+		d.AddUint64(i)
+		if i%100 == 0 {
+			got := d.Estimate()
+			if !math.IsNaN(last) && got != last {
+				changes++
+			}
+			last = got
+		}
+	}
+	if changes > lambda {
+		t.Errorf("output changed %d times with lambda=%d", changes, lambda)
+	}
+}
+
+func TestDistinctAdaptiveAttackResisted(t *testing.T) {
+	// Adversary strategy against plain HLL: probe candidate items and
+	// keep only those that do NOT move the estimate (their hashes are
+	// "shadowed" by current register maxima). Feeding many shadowed
+	// items inflates the true distinct count while a naive sketch's
+	// report stays flat.
+	attack := func(add func(uint64), estimate func() float64, budget int) (inserted float64, reported float64) {
+		next := uint64(1)
+		count := 0
+		for probes := 0; probes < budget; probes++ {
+			before := estimate()
+			add(next)
+			count++
+			after := estimate()
+			if after > before {
+				// Item moved the sketch: avoid similar ones? The naive
+				// adversary just continues scanning.
+				_ = after
+			} else {
+				// Shadowed item: hammer near-duplicates of it (re-adding
+				// the same value does nothing to the truth, so the
+				// adversary scans forward instead).
+				for j := uint64(0); j < 20; j++ {
+					add(next + uint64(budget)*2 + j*1e6)
+					count++
+				}
+			}
+			next++
+		}
+		return float64(count), estimate()
+	}
+	// Plain HLL under attack.
+	naive := cardinalityHLL(8, 42)
+	nIns, nRep := attack(naive.AddUint64, naive.Estimate, 1200)
+	// Robust wrapper under the same attack.
+	rob := NewDistinct(0.5, DistinctLambdaFor(0.5, 1e7), 8, 42)
+	rIns, rRep := attack(rob.AddUint64, rob.Estimate, 1200)
+
+	naiveRatio := nRep / nIns
+	robustRatio := rRep / rIns
+	// The attack interacts with hash shadows; at minimum the robust
+	// wrapper must not be *more* fooled than the naive sketch, and must
+	// stay within a constant factor of the truth.
+	if robustRatio < naiveRatio/2 {
+		t.Errorf("robust ratio %.3f much worse than naive %.3f", robustRatio, naiveRatio)
+	}
+	if rRep < rIns/8 || rRep > rIns*8 {
+		t.Errorf("robust estimate %.0f far from true %.0f", rRep, rIns)
+	}
+}
+
+// cardinalityHLL avoids an import cycle in test helpers.
+func cardinalityHLL(p uint8, seed uint64) interface {
+	AddUint64(uint64)
+	Estimate() float64
+} {
+	return newHLLForTest(p, seed)
+}
+
+func TestDistinctSizeAndPanics(t *testing.T) {
+	d := NewDistinct(0.5, 3, 10, 1)
+	if d.Copies() != 3 {
+		t.Errorf("Copies = %d", d.Copies())
+	}
+	if d.SizeBytes() == 0 {
+		t.Error("size accounting broken")
+	}
+	for name, fn := range map[string]func(){
+		"eps":    func() { NewDistinct(1, 2, 10, 1) },
+		"lambda": func() { NewDistinct(0.5, 0, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if DistinctLambdaFor(0.5, 0) < 1 {
+		t.Error("degenerate lambda")
+	}
+}
+
+func TestDistinctByteItems(t *testing.T) {
+	d := NewDistinct(0.3, 10, 10, 5)
+	rng := randx.New(6)
+	truth := map[string]bool{}
+	for i := 0; i < 20000; i++ {
+		s := string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))) +
+			string(rune('a'+rng.Intn(26)))
+		d.Add([]byte(s))
+		truth[s] = true
+	}
+	if err := core.RelErr(d.Estimate(), float64(len(truth))); err > 0.5 {
+		t.Errorf("estimate rel err %.3f", err)
+	}
+}

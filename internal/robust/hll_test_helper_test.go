@@ -1,0 +1,8 @@
+package robust
+
+import "repro/internal/cardinality"
+
+// newHLLForTest builds a plain HLL for adversary comparisons in tests.
+func newHLLForTest(p uint8, seed uint64) *cardinality.HLL {
+	return cardinality.NewHLL(p, seed)
+}

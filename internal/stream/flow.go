@@ -1,0 +1,106 @@
+// Package stream provides the data-stream substrate of the paper's
+// "Massive Data Streams" era (§3): typed network-flow events, synthetic
+// generators with the skew characteristics of real traffic, and a
+// Gigascope/CMON-style GROUP-BY aggregation engine that maintains
+// "huge numbers of sketches in parallel" — one sketch set per group —
+// over a single pass of the stream.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// Flow is one network-flow record, the event type of the ISP-era
+// systems (Sprint CMON, AT&T Gigascope) this package substitutes for.
+type Flow struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8 // 6 = TCP, 17 = UDP
+	Bytes   uint32
+	TS      int64 // nanoseconds since epoch start
+}
+
+// SrcKey returns the source address as a hashable byte key.
+func (f Flow) SrcKey() []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], f.SrcIP)
+	return b[:]
+}
+
+// DstKey returns the destination address as a hashable byte key.
+func (f Flow) DstKey() []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], f.DstIP)
+	return b[:]
+}
+
+// FiveTuple returns the canonical flow identity key.
+func (f Flow) FiveTuple() []byte {
+	b := make([]byte, 13)
+	binary.BigEndian.PutUint32(b[0:], f.SrcIP)
+	binary.BigEndian.PutUint32(b[4:], f.DstIP)
+	binary.BigEndian.PutUint16(b[8:], f.SrcPort)
+	binary.BigEndian.PutUint16(b[10:], f.DstPort)
+	b[12] = f.Proto
+	return b
+}
+
+// String renders the flow in the familiar tcpdump-ish form.
+func (f Flow) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d proto=%d bytes=%d",
+		ipString(f.SrcIP), f.SrcPort, ipString(f.DstIP), f.DstPort, f.Proto, f.Bytes)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// FlowGen generates synthetic flows with the skew structure of backbone
+// traffic: Zipf-popular source hosts (a few heavy talkers), Zipf
+// destination services, a small set of hot ports, and Pareto-distributed
+// flow sizes. DESIGN.md §3 records this as the substitution for the
+// proprietary ISP traces the original systems consumed.
+type FlowGen struct {
+	rng      *randx.RNG
+	srcZipf  *randx.Zipf
+	dstZipf  *randx.Zipf
+	portZipf *randx.Zipf
+	ts       int64
+}
+
+// NewFlowGen creates a generator over nHosts source/destination hosts
+// with source skew alpha.
+func NewFlowGen(nHosts int, alpha float64, seed uint64) *FlowGen {
+	rng := randx.New(seed)
+	return &FlowGen{
+		rng:      rng,
+		srcZipf:  randx.NewZipf(rng, alpha, nHosts),
+		dstZipf:  randx.NewZipf(rng, 1.2, nHosts),
+		portZipf: randx.NewZipf(rng, 1.5, 1024),
+	}
+}
+
+// Next returns the next synthetic flow.
+func (g *FlowGen) Next() Flow {
+	g.ts += 1 + int64(g.rng.Exponential(1e-3)) // ~1000 flows per simulated second, strictly increasing
+	size := uint32(math.Min(40+1460*math.Pow(g.rng.Float64Open(), -0.7), 1e7))
+	proto := uint8(6)
+	if g.rng.BoolP(0.2) {
+		proto = 17
+	}
+	return Flow{
+		SrcIP:   uint32(0x0a000000 + g.srcZipf.Next()), // 10.0.0.0/8
+		DstIP:   uint32(0xc0a80000 + g.dstZipf.Next()), // 192.168.0.0/16-ish
+		SrcPort: uint16(1024 + g.rng.Intn(64512)),
+		DstPort: uint16(g.portZipf.Next()),
+		Proto:   proto,
+		Bytes:   size,
+		TS:      g.ts,
+	}
+}

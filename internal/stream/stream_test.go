@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cardinality"
+	"repro/internal/core"
+	"repro/internal/frequency"
+)
+
+func TestFlowGenDeterministic(t *testing.T) {
+	a, b := NewFlowGen(1000, 1.1, 7), NewFlowGen(1000, 1.1, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different flows")
+		}
+	}
+}
+
+func TestFlowGenSkew(t *testing.T) {
+	g := NewFlowGen(10000, 1.3, 8)
+	counts := map[uint32]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().SrcIP]++
+	}
+	// The hottest source should carry a visible share of traffic.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.05 {
+		t.Errorf("top talker only %.3f of traffic — skew too weak", float64(max)/n)
+	}
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct sources", len(counts))
+	}
+}
+
+func TestFlowGenFieldsPlausible(t *testing.T) {
+	g := NewFlowGen(100, 1.0, 9)
+	prevTS := int64(-1)
+	for i := 0; i < 10000; i++ {
+		f := g.Next()
+		if f.Proto != 6 && f.Proto != 17 {
+			t.Fatalf("bad proto %d", f.Proto)
+		}
+		if f.Bytes < 40 {
+			t.Fatalf("flow size %d below minimum", f.Bytes)
+		}
+		if f.TS <= prevTS {
+			t.Fatal("timestamps must be strictly increasing")
+		}
+		prevTS = f.TS
+		if f.DstPort == 0 || f.DstPort > 1024 {
+			t.Fatalf("dst port %d outside hot range", f.DstPort)
+		}
+	}
+}
+
+func TestFlowKeys(t *testing.T) {
+	f := Flow{SrcIP: 0x0a000001, DstIP: 0xc0a80001, SrcPort: 1234, DstPort: 80, Proto: 6}
+	if len(f.FiveTuple()) != 13 {
+		t.Error("five-tuple length wrong")
+	}
+	if string(f.SrcKey()) == string(f.DstKey()) {
+		t.Error("src and dst keys collide")
+	}
+	if !strings.Contains(f.String(), "10.0.0.1:1234") {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestEngineGroupByProto(t *testing.T) {
+	eng := NewEngine(
+		func(f Flow) string {
+			if f.Proto == 6 {
+				return "tcp"
+			}
+			return "udp"
+		},
+		AggregateSpec{
+			Name: "distinct-src",
+			New:  func() core.Updater { return cardinality.NewHLL(12, 1) },
+			Key:  func(f Flow) []byte { return f.SrcKey() },
+		},
+		AggregateSpec{
+			Name: "hot-dst",
+			New:  func() core.Updater { return frequency.NewSpaceSaving(64) },
+			Key:  func(f Flow) []byte { return f.DstKey() },
+		},
+	)
+	g := NewFlowGen(5000, 1.2, 10)
+	exactSrc := map[string]map[uint32]bool{"tcp": {}, "udp": {}}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := g.Next()
+		eng.Process(f)
+		if f.Proto == 6 {
+			exactSrc["tcp"][f.SrcIP] = true
+		} else {
+			exactSrc["udp"][f.SrcIP] = true
+		}
+	}
+	if eng.Events() != n {
+		t.Errorf("Events = %d", eng.Events())
+	}
+	if eng.GroupCount() != 2 || eng.SketchCount() != 4 {
+		t.Errorf("groups=%d sketches=%d", eng.GroupCount(), eng.SketchCount())
+	}
+	for _, proto := range []string{"tcp", "udp"} {
+		hll, ok := eng.Aggregate(proto, "distinct-src").(*cardinality.HLL)
+		if !ok {
+			t.Fatalf("aggregate type assertion failed for %s", proto)
+		}
+		want := float64(len(exactSrc[proto]))
+		if err := core.RelErr(hll.Estimate(), want); err > 0.05 {
+			t.Errorf("%s distinct sources: est %.0f vs true %.0f", proto, hll.Estimate(), want)
+		}
+	}
+	if eng.Aggregate("tcp", "nope") != nil || eng.Aggregate("icmp", "hot-dst") != nil {
+		t.Error("missing aggregates must return nil")
+	}
+}
+
+func TestEngineManyGroups(t *testing.T) {
+	// One group per destination port: hundreds of parallel sketch sets.
+	eng := NewEngine(
+		func(f Flow) string { return fmt.Sprint(f.DstPort) },
+		AggregateSpec{
+			Name: "flows",
+			New:  func() core.Updater { return cardinality.NewHLL(10, 2) },
+			Key:  func(f Flow) []byte { return f.FiveTuple() },
+		},
+	)
+	g := NewFlowGen(2000, 1.1, 11)
+	for i := 0; i < 50000; i++ {
+		eng.Process(g.Next())
+	}
+	if eng.GroupCount() < 100 {
+		t.Errorf("only %d port groups", eng.GroupCount())
+	}
+	groups := eng.Groups()
+	if len(groups) != eng.GroupCount() {
+		t.Error("Groups() length mismatch")
+	}
+	for i := 1; i < len(groups); i++ {
+		if groups[i] < groups[i-1] {
+			t.Fatal("Groups() not sorted")
+		}
+	}
+}
+
+func TestEnginePanics(t *testing.T) {
+	spec := AggregateSpec{
+		Name: "x",
+		New:  func() core.Updater { return cardinality.NewHLL(8, 1) },
+		Key:  func(f Flow) []byte { return f.SrcKey() },
+	}
+	for name, fn := range map[string]func(){
+		"nil groupBy": func() { NewEngine(nil, spec) },
+		"no specs":    func() { NewEngine(func(Flow) string { return "" }) },
+		"dup name":    func() { NewEngine(func(Flow) string { return "" }, spec, spec) },
+		"bad spec":    func() { NewEngine(func(Flow) string { return "" }, AggregateSpec{Name: "y"}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkEngineProcess(b *testing.B) {
+	eng := NewEngine(
+		func(f Flow) string {
+			if f.Proto == 6 {
+				return "tcp"
+			}
+			return "udp"
+		},
+		AggregateSpec{
+			Name: "distinct-src",
+			New:  func() core.Updater { return cardinality.NewHLL(12, 1) },
+			Key:  func(f Flow) []byte { return f.SrcKey() },
+		},
+	)
+	g := NewFlowGen(10000, 1.1, 1)
+	flows := make([]Flow, 10000)
+	for i := range flows {
+		flows[i] = g.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Process(flows[i%len(flows)])
+	}
+}

@@ -1,0 +1,111 @@
+package window
+
+import (
+	"repro/internal/frequency"
+)
+
+// WindowedTopK tracks heavy hitters over a sliding window using
+// rotating SpaceSaving panes: each pane summarizes window/panes ticks;
+// queries merge the live panes (SpaceSaving merges per Mergeable
+// Summaries). Expiry granularity is one pane — the "top items in the
+// last hour" dashboard primitive of the paper's monitoring era.
+type WindowedTopK struct {
+	window    uint64
+	paneWidth uint64
+	k         int
+	panes     []ssPane
+	now       uint64
+}
+
+type ssPane struct {
+	start uint64
+	ss    *frequency.SpaceSaving
+}
+
+// NewWindowedTopK creates a sliding-window heavy-hitter tracker with k
+// counters per pane.
+func NewWindowedTopK(window uint64, panes, k int) *WindowedTopK {
+	if window < 1 || panes < 1 || uint64(panes) > window {
+		panic("window: need 1 <= panes <= window")
+	}
+	if k < 1 {
+		panic("window: k must be >= 1")
+	}
+	return &WindowedTopK{
+		window:    window,
+		paneWidth: (window + uint64(panes) - 1) / uint64(panes),
+		k:         k,
+	}
+}
+
+// Tick advances the clock.
+func (w *WindowedTopK) Tick(ts uint64) {
+	if ts < w.now {
+		panic("window: time went backwards")
+	}
+	w.now = ts
+	w.expire()
+}
+
+func (w *WindowedTopK) expire() {
+	keep := w.panes[:0]
+	for _, p := range w.panes {
+		if p.start+w.paneWidth+w.window > w.now {
+			keep = append(keep, p)
+		}
+	}
+	w.panes = keep
+}
+
+// Add records weight occurrences of item at the current timestamp.
+func (w *WindowedTopK) Add(item string, weight uint64) {
+	start := w.now - w.now%w.paneWidth
+	for i := range w.panes {
+		if w.panes[i].start == start {
+			w.panes[i].ss.Add(item, weight)
+			return
+		}
+	}
+	p := ssPane{start: start, ss: frequency.NewSpaceSaving(w.k)}
+	p.ss.Add(item, weight)
+	w.panes = append(w.panes, p)
+}
+
+// TopK returns the items whose windowed count reaches threshold times
+// the windowed total, by merging the live panes.
+func (w *WindowedTopK) TopK(threshold float64) []frequency.Entry {
+	w.expire()
+	if len(w.panes) == 0 {
+		return nil
+	}
+	merged := frequency.NewSpaceSaving(w.k)
+	for _, p := range w.panes {
+		if err := merged.Merge(p.ss); err != nil {
+			panic(err) // same k by construction
+		}
+	}
+	return merged.HeavyHitters(threshold)
+}
+
+// Estimate returns the windowed count upper bound for one item.
+func (w *WindowedTopK) Estimate(item string) uint64 {
+	w.expire()
+	var total uint64
+	for _, p := range w.panes {
+		total += p.ss.Estimate(item)
+	}
+	return total
+}
+
+// N returns the total windowed weight (sum over live panes).
+func (w *WindowedTopK) N() uint64 {
+	w.expire()
+	var total uint64
+	for _, p := range w.panes {
+		total += p.ss.N()
+	}
+	return total
+}
+
+// Panes returns the number of live panes.
+func (w *WindowedTopK) Panes() int { return len(w.panes) }
