@@ -7,6 +7,10 @@
 //	sketchbench              # run every experiment
 //	sketchbench -run E4,E8   # run selected experiments
 //	sketchbench -list        # list experiment ids and titles
+//
+// The E25 loadgen starts an in-process sketchd by default; pass
+// -sketchd http://host:port to drive an externally running daemon
+// instead.
 package main
 
 import (
@@ -22,7 +26,12 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	sketchd := flag.String("sketchd", "", "base URL of a running sketchd for the E25 loadgen (default: in-process)")
 	flag.Parse()
+
+	if *sketchd != "" {
+		os.Setenv("SKETCHD_ADDR", *sketchd)
+	}
 
 	if *list {
 		titles := experiments.Titles()

@@ -1,0 +1,56 @@
+// Command sketchd serves the sketch library over HTTP: a namespace of
+// named sketches (hll, countmin, bloom, kll, theta) with batched
+// ingest, queries, mergeable-summary exchange, and /debug/statsz
+// counters. See internal/server for the route table and README
+// "Running sketchd" for curl examples.
+//
+// Usage:
+//
+//	sketchd -addr :7600
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7600", "listen address")
+	flag.Parse()
+
+	srv := server.New()
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	go func() {
+		log.Printf("sketchd listening on %s", *addr)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("sketchd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("sketchd: shutdown: %v", err)
+	}
+	ops := srv.Ops().Snapshot()
+	log.Printf("sketchd: served %d adds in %d batches, %d merges, %d queries",
+		ops.Adds, ops.AddBatches, ops.Merges, ops.Queries)
+}

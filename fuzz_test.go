@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	sketch "repro"
+	"repro/internal/server"
 )
 
 // corpusFor seeds a fuzzer with a valid serialization and a few
@@ -252,6 +253,54 @@ func FuzzMorrisUnmarshal(f *testing.F) {
 		if err := g.UnmarshalBinary(in); err == nil {
 			g.Increment()
 			_ = g.Count()
+		}
+	})
+}
+
+// FuzzServerRequestDecode drives sketchd's two request decoders — the
+// newline-batch splitter feeding Entry.Add and the merge-envelope
+// decoder feeding Entry.Merge — with arbitrary bodies against every
+// registered sketch type. Any input must either ingest or return an
+// error; panics and hangs are bugs in the serving layer's input
+// validation.
+func FuzzServerRequestDecode(f *testing.F) {
+	h := sketch.NewHLL(10, 1)
+	h.AddUint64(7)
+	env, _ := h.MarshalBinary()
+	corpusFor(f, env)
+	f.Add([]byte("alpha\nbeta\r\ngamma\t12\n3.5\n"))
+	f.Add([]byte("item\t18446744073709551616\n")) // weight overflows uint64
+	f.Add([]byte("\n\r\n\t\n"))
+
+	types := []sketch.ServerCreateRequest{
+		{Type: "hll", P: 10, Shards: 2, Seed: 1},
+		{Type: "countmin", Width: 128, Depth: 3, Seed: 1},
+		{Type: "bloom", NItems: 1000, FPR: 0.01, Seed: 1},
+		{Type: "kll", K: 64, Seed: 1},
+		{Type: "theta", K: 64, Seed: 1},
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 64<<10 {
+			t.Skip("body size is bounded by maxBodyBytes in the server; keep fuzz execs fast")
+		}
+		items := server.SplitBatch(in)
+		for _, req := range types {
+			e, err := server.NewEntry(req)
+			if err != nil {
+				t.Fatalf("NewEntry(%v): %v", req.Type, err)
+			}
+			// Ingest must not panic and must not mutate on rejected
+			// batches in a way that breaks subsequent use.
+			_ = e.Add(items)
+			if _, err := e.Snapshot(); err != nil {
+				t.Errorf("%s: snapshot after add: %v", req.Type, err)
+			}
+			// Merge of arbitrary bytes must either succeed (valid
+			// same-type envelope) or error cleanly.
+			_ = e.Merge(in)
+			if _, err := e.Snapshot(); err != nil {
+				t.Errorf("%s: snapshot after merge: %v", req.Type, err)
+			}
 		}
 	})
 }

@@ -201,7 +201,7 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary restores a filter serialized by MarshalBinary.
 func (f *Filter) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReader(data, core.TagBloom)
+	r, _, err := core.NewReaderVersioned(data, core.TagBloom, 1)
 	if err != nil {
 		return err
 	}
@@ -213,7 +213,10 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	if err := r.Done(); err != nil {
 		return err
 	}
-	if m == 0 || k < 1 || uint64(len(bits)) != (m+63)/64 {
+	// k is bounded because every Add/Contains does k hash probes: a
+	// corrupt multi-billion k would turn the first post-decode operation
+	// into a minutes-long spin (fuzz-found). Real filters use k ≤ ~30.
+	if m == 0 || k < 1 || k > 256 || uint64(len(bits)) != (m+63)/64 {
 		return fmt.Errorf("%w: inconsistent bloom dimensions", core.ErrCorrupt)
 	}
 	f.m, f.k, f.seed, f.n, f.bits = m, k, seed, n, bits

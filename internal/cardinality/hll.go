@@ -187,7 +187,7 @@ func (h *HLL) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary.
 func (h *HLL) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReader(data, core.TagHLL)
+	r, _, err := core.NewReaderVersioned(data, core.TagHLL, 1)
 	if err != nil {
 		return err
 	}

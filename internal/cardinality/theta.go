@@ -229,7 +229,7 @@ func (t *Theta) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary.
 func (t *Theta) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReader(data, core.TagTheta)
+	r, _, err := core.NewReaderVersioned(data, core.TagTheta, 1)
 	if err != nil {
 		return err
 	}

@@ -15,27 +15,44 @@
 package concurrent
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cardinality"
+	"repro/internal/core"
+	"repro/internal/frequency"
 	"repro/internal/hashx"
 )
 
 // ShardedHLL is a concurrent HyperLogLog: each shard is owned by the
 // goroutines that hash to it (striped by a cheap counter), and reads
-// merge all shards into a fresh sketch.
+// merge all shards into a cached merged view. The cache is keyed by an
+// epoch — the sum of per-shard write counters — so a read-heavy
+// workload pays the O(m · shards) merge only after a write actually
+// changed something, not on every Estimate call.
 type ShardedHLL struct {
 	shards []shardedHLLSlot
 	p      uint8
 	seed   uint64
 	next   atomic.Uint64
+
+	// cached merged view, rebuilt when the epoch moves. cacheEpoch is
+	// read before the rebuild merges the shards, so writes that race
+	// with a rebuild land in a later epoch and invalidate it again —
+	// the cache can be stale-marked but never wrong.
+	cacheMu    sync.Mutex
+	cache      *cardinality.HLL
+	cacheEst   float64
+	cacheEpoch uint64
+	cacheValid bool
 }
 
 type shardedHLLSlot struct {
-	mu  sync.Mutex
-	hll *cardinality.HLL
-	_   [40]byte // pad to a cache line to avoid false sharing of locks
+	mu      sync.Mutex
+	hll     *cardinality.HLL
+	version atomic.Uint64 // writes to this shard; bumped inside the lock
+	_       [24]byte      // pad to a cache line to avoid false sharing of locks
 }
 
 // NewShardedHLL creates a concurrent HLL with the given number of
@@ -68,6 +85,7 @@ type HLLHandle struct {
 func (h *HLLHandle) AddUint64(v uint64) {
 	h.slot.mu.Lock()
 	h.slot.hll.AddUint64(v)
+	h.slot.version.Add(1)
 	h.slot.mu.Unlock()
 }
 
@@ -75,14 +93,48 @@ func (h *HLLHandle) AddUint64(v uint64) {
 func (h *HLLHandle) Add(item []byte) {
 	h.slot.mu.Lock()
 	h.slot.hll.Add(item)
+	h.slot.version.Add(1)
 	h.slot.mu.Unlock()
 }
 
-// Estimate merges all shards and returns the cardinality estimate.
-// Because HLL merge is the register-wise max, the result is exactly the
-// estimate a single sketch would have produced for the union of all
-// shards' inputs.
-func (s *ShardedHLL) Estimate() float64 {
+// AddBatchUint64 inserts many items under one lock acquisition; the
+// serving layer uses it so a network batch costs one lock round-trip,
+// not one per item.
+func (h *HLLHandle) AddBatchUint64(vs []uint64) {
+	h.slot.mu.Lock()
+	for _, v := range vs {
+		h.slot.hll.AddUint64(v)
+	}
+	h.slot.version.Add(uint64(len(vs)))
+	h.slot.mu.Unlock()
+}
+
+// AddBatch inserts many byte-slice items under one lock acquisition.
+// Items are hashed before insertion and may be reused by the caller
+// after the call returns.
+func (h *HLLHandle) AddBatch(items [][]byte) {
+	h.slot.mu.Lock()
+	for _, item := range items {
+		h.slot.hll.Add(item)
+	}
+	h.slot.version.Add(uint64(len(items)))
+	h.slot.mu.Unlock()
+}
+
+// epoch returns a value that strictly increases with every write to any
+// shard. Equal epochs imply an unchanged union.
+func (s *ShardedHLL) epoch() uint64 {
+	var e uint64
+	for i := range s.shards {
+		e += s.shards[i].version.Load()
+	}
+	return e
+}
+
+// mergeShards builds a fresh merged sketch from all shards. This is the
+// uncached read path; BenchmarkShardedHLLEstimate measures what the
+// epoch cache saves over calling this on every read.
+func (s *ShardedHLL) mergeShards() *cardinality.HLL {
 	merged := cardinality.NewHLL(s.p, s.seed)
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
@@ -92,7 +144,75 @@ func (s *ShardedHLL) Estimate() float64 {
 			panic(err) // all shards share p and seed by construction
 		}
 	}
-	return merged.Estimate()
+	return merged
+}
+
+// mergedView returns the cached merged sketch, rebuilding it only if a
+// write moved the epoch since the last rebuild. Callers must not
+// mutate the result; Snapshot clones it for them.
+func (s *ShardedHLL) mergedView() (*cardinality.HLL, float64) {
+	e := s.epoch()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if !s.cacheValid || s.cacheEpoch != e {
+		s.cache = s.mergeShards()
+		s.cacheEst = s.cache.Estimate()
+		s.cacheEpoch = e
+		s.cacheValid = true
+	}
+	return s.cache, s.cacheEst
+}
+
+// Estimate returns the cardinality estimate of the union of all
+// shards. Because HLL merge is the register-wise max, the result is
+// exactly the estimate a single sketch would have produced for the
+// union of all shards' inputs. Repeated reads between writes are
+// served from the epoch cache in O(shards) instead of O(m · shards).
+func (s *ShardedHLL) Estimate() float64 {
+	_, est := s.mergedView()
+	return est
+}
+
+// Snapshot returns a private copy of the merged sketch, suitable for
+// serialization or further merging by the caller.
+func (s *ShardedHLL) Snapshot() *cardinality.HLL {
+	merged, _ := s.mergedView()
+	return merged.Clone()
+}
+
+// Merge folds a peer's HLL (same p and seed) into the sketch. The peer
+// lands in one shard, so subsequent reads union it like any other
+// shard's contents.
+func (s *ShardedHLL) Merge(other *cardinality.HLL) error {
+	slot := &s.shards[0]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if err := slot.hll.Merge(other); err != nil {
+		return err
+	}
+	slot.version.Add(1)
+	return nil
+}
+
+// MarshalBinary serializes the merged view in the standard HLL
+// envelope, so any HLL (sharded or not) can absorb it.
+func (s *ShardedHLL) MarshalBinary() ([]byte, error) {
+	merged, _ := s.mergedView()
+	return merged.MarshalBinary()
+}
+
+// P returns the dense precision shared by all shards.
+func (s *ShardedHLL) P() uint8 { return s.p }
+
+// SizeBytes returns the total register storage across shards.
+func (s *ShardedHLL) SizeBytes() int {
+	total := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		total += s.shards[i].hll.SizeBytes()
+		s.shards[i].mu.Unlock()
+	}
+	return total
 }
 
 // AtomicCountMin is a Count-Min sketch with lock-free atomic counter
@@ -149,9 +269,17 @@ func (c *AtomicCountMin) Add(item []byte, weight uint64) {
 	c.n.Add(weight)
 }
 
+// Estimate returns the point-query estimate for a byte-slice item.
+func (c *AtomicCountMin) Estimate(item []byte) uint64 {
+	return c.estimateHash(hashx.XXHash64(item, c.seed))
+}
+
 // EstimateUint64 returns the point-query estimate for an integer item.
 func (c *AtomicCountMin) EstimateUint64(item uint64) uint64 {
-	h := hashx.HashUint64(item, c.seed)
+	return c.estimateHash(hashx.HashUint64(item, c.seed))
+}
+
+func (c *AtomicCountMin) estimateHash(h uint64) uint64 {
 	est := ^uint64(0)
 	for r := 0; r < c.depth; r++ {
 		j := c.rows[r].HashRange(h, c.width)
@@ -164,6 +292,72 @@ func (c *AtomicCountMin) EstimateUint64(item uint64) uint64 {
 
 // N returns the total weight added.
 func (c *AtomicCountMin) N() uint64 { return c.n.Load() }
+
+// Width returns the bucket count per row.
+func (c *AtomicCountMin) Width() int { return c.width }
+
+// Depth returns the number of rows.
+func (c *AtomicCountMin) Depth() int { return c.depth }
+
+// Seed returns the hash seed.
+func (c *AtomicCountMin) Seed() uint64 { return c.seed }
+
+// SizeBytes returns the counter storage size.
+func (c *AtomicCountMin) SizeBytes() int { return len(c.counts) * 8 }
+
+// compatibleWith checks that a plain CountMin addresses the same
+// buckets: equal width, depth and seed imply identical row hashes,
+// because both types derive them from hashx.SeedSequence(seed, depth).
+func (c *AtomicCountMin) compatibleWith(other *frequency.CountMin) error {
+	if c.width != other.Width() || c.depth != other.Depth() || c.seed != other.Seed() {
+		return fmt.Errorf("%w: atomic count-min %dx%d/seed=%d vs %dx%d/seed=%d",
+			core.ErrIncompatible, c.width, c.depth, c.seed,
+			other.Width(), other.Depth(), other.Seed())
+	}
+	if other.Conservative() {
+		return fmt.Errorf("%w: conservative-update sketches are not mergeable", core.ErrIncompatible)
+	}
+	return nil
+}
+
+// Merge atomically adds a hash-compatible plain CountMin's counters
+// cell-wise. Concurrent Adds interleave safely: each cell addition is
+// atomic, so the never-undercount guarantee holds for any item whose
+// updates happened-before a subsequent query.
+func (c *AtomicCountMin) Merge(other *frequency.CountMin) error {
+	if err := c.compatibleWith(other); err != nil {
+		return err
+	}
+	for i, v := range other.CountsRowMajor() {
+		if v != 0 {
+			c.counts[i].Add(v)
+		}
+	}
+	c.n.Add(other.N())
+	return nil
+}
+
+// Snapshot copies the counters into a plain CountMin for serialization
+// or offline use. Each counter is read atomically; under concurrent
+// writes the copy is a per-cell snapshot (sufficient for the
+// overestimate guarantee, as with EstimateUint64).
+func (c *AtomicCountMin) Snapshot() *frequency.CountMin {
+	counts := make([]uint64, len(c.counts))
+	for i := range c.counts {
+		counts[i] = c.counts[i].Load()
+	}
+	cm, err := frequency.NewCountMinFromCounts(c.width, c.depth, c.seed, counts, c.n.Load())
+	if err != nil {
+		panic(err) // dimensions match by construction
+	}
+	return cm
+}
+
+// MarshalBinary serializes a snapshot in the standard Count-Min
+// envelope, so any CountMin can absorb it.
+func (c *AtomicCountMin) MarshalBinary() ([]byte, error) {
+	return c.Snapshot().MarshalBinary()
+}
 
 // MutexCountMin is the baseline: a Count-Min guarded by one mutex.
 // E7a uses it to show what sharding and atomics buy.

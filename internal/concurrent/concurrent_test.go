@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cardinality"
 	"repro/internal/core"
+	"repro/internal/frequency"
 )
 
 func TestShardedHLLMatchesSequential(t *testing.T) {
@@ -186,4 +187,140 @@ func BenchmarkShardedHLLParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+func TestShardedHLLEpochCache(t *testing.T) {
+	s := NewShardedHLL(4, 12, 1)
+	h := s.Handle()
+	for i := 0; i < 10000; i++ {
+		h.AddUint64(uint64(i))
+	}
+	first := s.Estimate()
+	// A second read between writes must come from the cache and agree.
+	if again := s.Estimate(); again != first {
+		t.Errorf("cached estimate %.1f != %.1f", again, first)
+	}
+	if s.epoch() != 10000 {
+		t.Errorf("epoch = %d, want 10000", s.epoch())
+	}
+	// A write must invalidate the cached view.
+	for i := 10000; i < 30000; i++ {
+		h.AddUint64(uint64(i))
+	}
+	if got := s.Estimate(); got == first {
+		t.Errorf("estimate unchanged at %.1f after 20k new items", got)
+	}
+	if err := core.RelErr(s.Estimate(), 30000); err > 0.1 {
+		t.Errorf("estimate rel err %.3f", err)
+	}
+}
+
+func TestShardedHLLMergeAndSnapshot(t *testing.T) {
+	s := NewShardedHLL(4, 12, 1)
+	h := s.Handle()
+	for i := 0; i < 5000; i++ {
+		h.AddUint64(uint64(i))
+	}
+	peer := cardinality.NewHLL(12, 1)
+	for i := 5000; i < 10000; i++ {
+		peer.AddUint64(uint64(i))
+	}
+	if err := s.Merge(peer); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	// Merge must invalidate the cache and union the peer.
+	if err := core.RelErr(s.Estimate(), 10000); err > 0.1 {
+		t.Errorf("post-merge rel err %.3f", err)
+	}
+	// Incompatible peers must be rejected.
+	bad := cardinality.NewHLL(10, 99)
+	if err := s.Merge(bad); err == nil {
+		t.Error("merge of incompatible HLL succeeded")
+	}
+	// Snapshot must be a private copy equal to the merged view.
+	snap := s.Snapshot()
+	if snap.Estimate() != s.Estimate() {
+		t.Errorf("snapshot estimate %.1f != %.1f", snap.Estimate(), s.Estimate())
+	}
+	for i := 0; i < 20000; i++ {
+		snap.AddUint64(uint64(1<<40 + i))
+	}
+	if snap.Estimate() <= s.Estimate() {
+		t.Error("mutating the snapshot did not diverge from the source")
+	}
+	// Round-trip through MarshalBinary must be absorbable by a plain HLL.
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back cardinality.HLL
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Estimate() != s.Estimate() {
+		t.Errorf("round-trip estimate %.1f != %.1f", back.Estimate(), s.Estimate())
+	}
+}
+
+func TestAtomicCountMinMergeSnapshot(t *testing.T) {
+	c := NewAtomicCountMin(1024, 4, 3)
+	for i := 0; i < 1000; i++ {
+		c.AddUint64(uint64(i%10), 1)
+	}
+	peer := frequency.NewCountMin(1024, 4, 3)
+	for i := 0; i < 500; i++ {
+		peer.AddUint64(uint64(i%10), 1)
+	}
+	if err := c.Merge(peer); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if c.N() != 1500 {
+		t.Errorf("N = %d, want 1500", c.N())
+	}
+	for item := uint64(0); item < 10; item++ {
+		if got := c.EstimateUint64(item); got < 150 {
+			t.Errorf("item %d: estimate %d < 150", item, got)
+		}
+	}
+	// Snapshot must agree with the atomic reads and round-trip.
+	snap := c.Snapshot()
+	for item := uint64(0); item < 10; item++ {
+		if snap.EstimateUint64(item) != c.EstimateUint64(item) {
+			t.Errorf("item %d: snapshot %d != live %d",
+				item, snap.EstimateUint64(item), c.EstimateUint64(item))
+		}
+	}
+	// Mismatched shapes and conservative peers are rejected.
+	if err := c.Merge(frequency.NewCountMin(512, 4, 3)); err == nil {
+		t.Error("merge of mismatched width succeeded")
+	}
+	cons := frequency.NewCountMin(1024, 4, 3)
+	cons.SetConservative(true)
+	if err := c.Merge(cons); err == nil {
+		t.Error("merge of conservative sketch succeeded")
+	}
+}
+
+// BenchmarkShardedHLLEstimate demonstrates what the epoch cache buys:
+// the uncached path re-merges every shard on every read (the seed
+// repo's behaviour), the cached path pays O(shards) between writes.
+func BenchmarkShardedHLLEstimate(b *testing.B) {
+	for _, mode := range []string{"uncached", "cached"} {
+		b.Run(mode, func(b *testing.B) {
+			s := NewShardedHLL(runtime.GOMAXPROCS(0), 14, 1)
+			h := s.Handle()
+			for i := 0; i < 100000; i++ {
+				h.AddUint64(uint64(i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "uncached" {
+					merged := s.mergeShards()
+					_ = merged.Estimate()
+				} else {
+					_ = s.Estimate()
+				}
+			}
+		})
+	}
 }

@@ -132,6 +132,23 @@ func NewReader(data []byte, tag byte) (*Reader, byte, error) {
 	return &Reader{buf: data, off: 6}, data[5], nil
 }
 
+// NewReaderVersioned validates the envelope like NewReader and
+// additionally rejects serializations written by a format version newer
+// than the caller supports. Decoders that evolve their payload layout
+// use it so that bytes from a future writer fail fast with ErrCorrupt
+// instead of being misparsed field by field.
+func NewReaderVersioned(data []byte, tag, maxVersion byte) (*Reader, byte, error) {
+	r, version, err := NewReader(data, tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	if version == 0 || version > maxVersion {
+		return nil, 0, fmt.Errorf("%w: serialization version %d, support <= %d",
+			ErrCorrupt, version, maxVersion)
+	}
+	return r, version, nil
+}
+
 // Err reports the first decoding error, if any. Callers check it once
 // after reading all fields.
 func (r *Reader) Err() error { return r.err }
@@ -241,6 +258,20 @@ func (r *Reader) F64Slice() []float64 {
 		return nil
 	}
 	return out
+}
+
+// Count reads a U32 element count for a sequence the caller decodes
+// manually, rejecting counts whose payload (elemSize bytes per element,
+// the minimum on-wire size) could not fit in the remaining buffer. Use
+// this instead of a raw U32 before any count-sized allocation or loop:
+// a corrupt count of ~4 billion would otherwise turn UnmarshalBinary
+// into a multi-gigabyte allocation or a multi-second spin.
+func (r *Reader) Count(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil || !r.checkLen(n, elemSize) {
+		return 0
+	}
+	return n
 }
 
 // checkLen rejects length prefixes that would exceed the remaining

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildEnvelope writes a small valid envelope for the tests below.
+func buildEnvelope(tag, version byte) []byte {
+	w := NewWriter(tag, version)
+	w.U8(7)
+	w.U64(42)
+	w.U64Slice([]uint64{1, 2, 3})
+	return w.Bytes()
+}
+
+func TestReaderRejectsTruncation(t *testing.T) {
+	data := buildEnvelope(TagHLL, 1)
+	// Every strict prefix must fail with ErrCorrupt — either at the
+	// header check or at a field read — and never panic.
+	for cut := 0; cut < len(data); cut++ {
+		r, _, err := NewReader(data[:cut], TagHLL)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Errorf("cut=%d: header error %v not ErrCorrupt", cut, err)
+			}
+			continue
+		}
+		r.U8()
+		r.U64()
+		r.U64Slice()
+		if err := r.Done(); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut=%d: Done() = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	data := buildEnvelope(TagHLL, 1)
+
+	// Wrong magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, _, err := NewReader(bad, TagHLL); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Wrong sketch tag (cross-type envelope).
+	if _, _, err := NewReader(data, TagCountMin); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("cross-type tag: %v", err)
+	}
+	// Empty and sub-header inputs.
+	for _, in := range [][]byte{nil, {}, []byte("GSK1"), []byte("GSK1\x06")} {
+		if _, _, err := NewReader(in, TagHLL); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("short input %q: %v", in, err)
+		}
+	}
+}
+
+func TestReaderVersioned(t *testing.T) {
+	// A supported version passes through.
+	r, v, err := NewReaderVersioned(buildEnvelope(TagHLL, 1), TagHLL, 1)
+	if err != nil || v != 1 {
+		t.Fatalf("version 1: v=%d err=%v", v, err)
+	}
+	_ = r
+	// A future version is rejected with ErrCorrupt.
+	if _, _, err := NewReaderVersioned(buildEnvelope(TagHLL, 2), TagHLL, 1); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("future version: %v", err)
+	}
+	// Version 0 was never written by any release.
+	if _, _, err := NewReaderVersioned(buildEnvelope(TagHLL, 0), TagHLL, 1); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("version 0: %v", err)
+	}
+	// Header errors still surface first.
+	if _, _, err := NewReaderVersioned([]byte("nope"), TagHLL, 1); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short header: %v", err)
+	}
+}
+
+func TestReaderRejectsImplausibleLengths(t *testing.T) {
+	// A length prefix larger than the remaining payload must fail
+	// before allocating.
+	w := NewWriter(TagKLL, 1)
+	w.U32(1 << 30) // claims 2^30 elements, no payload follows
+	data := w.Bytes()
+
+	r, _, err := NewReader(data, TagKLL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.U64Slice(); got != nil {
+		t.Errorf("U64Slice on implausible length returned %v", got)
+	}
+	if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Err() = %v, want ErrCorrupt", err)
+	}
+
+	// Same for byte fields and float slices.
+	r, _, _ = NewReader(data, TagKLL)
+	if got := r.BytesField(); got != nil {
+		t.Errorf("BytesField returned %v", got)
+	}
+	r, _, _ = NewReader(data, TagKLL)
+	if got := r.F64Slice(); got != nil {
+		t.Errorf("F64Slice returned %v", got)
+	}
+	r, _, _ = NewReader(data, TagKLL)
+	if got := r.I64Slice(); got != nil {
+		t.Errorf("I64Slice returned %v", got)
+	}
+}
+
+func TestReaderCount(t *testing.T) {
+	// A plausible count passes through and leaves the reader usable.
+	w := NewWriter(TagTDigest, 1)
+	w.U32(3)
+	for i := 0; i < 3; i++ {
+		w.F64(float64(i))
+		w.F64(1)
+	}
+	data := w.Bytes()
+	r, _, err := NewReader(data, TagTDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(16); got != 3 {
+		t.Fatalf("Count(16) = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		r.F64()
+		r.F64()
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done() after guarded count: %v", err)
+	}
+
+	// A count whose payload cannot fit the remaining buffer is rejected
+	// without reading further — the guard the manual decode loops
+	// (t-digest, GK, q-digest, Misra-Gries, SpaceSaving) rely on to
+	// avoid count-sized allocations on corrupt input.
+	w = NewWriter(TagTDigest, 1)
+	w.U32(0xFFFFFFFF)
+	r, _, err = NewReader(w.Bytes(), TagTDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(16); got != 0 {
+		t.Errorf("Count(16) on implausible count = %d, want 0", got)
+	}
+	if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Err() = %v, want ErrCorrupt", err)
+	}
+
+	// A truncated count field also fails closed.
+	w = NewWriter(TagTDigest, 1)
+	w.U8(1)
+	r, _, err = NewReader(w.Bytes(), TagTDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(16); got != 0 {
+		t.Errorf("Count on truncated field = %d, want 0", got)
+	}
+	if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Err() = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderRejectsTrailingBytes(t *testing.T) {
+	data := append(buildEnvelope(TagTheta, 1), 0xde, 0xad)
+	r, _, err := NewReader(data, TagTheta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.U8()
+	r.U64()
+	r.U64Slice()
+	if err := r.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Done() with trailing bytes = %v, want ErrCorrupt", err)
+	}
+}

@@ -187,6 +187,43 @@ func (c *CountMin) ErrorBound() float64 {
 // SizeBytes returns the counter storage size.
 func (c *CountMin) SizeBytes() int { return len(c.counts) * c.width * 8 }
 
+// Seed returns the hash seed the sketch was created with.
+func (c *CountMin) Seed() uint64 { return c.seed }
+
+// Conservative reports whether conservative update is enabled (which
+// makes the sketch non-mergeable).
+func (c *CountMin) Conservative() bool { return c.conservative }
+
+// CountsRowMajor returns a copy of the counter grid flattened in
+// row-major order (row r, bucket j at index r*width+j). It exists so
+// hash-compatible external representations — notably
+// concurrent.AtomicCountMin, which derives its row hashes from the same
+// SeedSequence — can exchange counters with this sketch.
+func (c *CountMin) CountsRowMajor() []uint64 {
+	out := make([]uint64, 0, len(c.counts)*c.width)
+	for _, row := range c.counts {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// NewCountMinFromCounts reconstitutes a sketch from a row-major counter
+// grid produced by a hash-compatible peer (same width, depth and seed
+// imply identical row hash functions, since both sides derive them from
+// SeedSequence(seed, depth)). counts must hold width*depth values.
+func NewCountMinFromCounts(width, depth int, seed uint64, counts []uint64, n uint64) (*CountMin, error) {
+	if width < 1 || depth < 1 || len(counts) != width*depth {
+		return nil, fmt.Errorf("%w: %d counters for a %dx%d grid",
+			core.ErrIncompatible, len(counts), width, depth)
+	}
+	c := NewCountMin(width, depth, seed)
+	for r := 0; r < depth; r++ {
+		copy(c.counts[r], counts[r*width:(r+1)*width])
+	}
+	c.n = n
+	return c, nil
+}
+
 func (c *CountMin) compatible(other *CountMin) error {
 	if c.width != other.width || len(c.counts) != len(other.counts) || c.seed != other.seed {
 		return fmt.Errorf("%w: count-min %dx%d/seed=%d vs %dx%d/seed=%d",
@@ -247,7 +284,7 @@ func (c *CountMin) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary.
 func (c *CountMin) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReader(data, core.TagCountMin)
+	r, _, err := core.NewReaderVersioned(data, core.TagCountMin, 1)
 	if err != nil {
 		return err
 	}

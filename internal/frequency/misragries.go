@@ -180,7 +180,7 @@ func (m *MisraGries) UnmarshalBinary(data []byte) error {
 	k := int(r.U32())
 	n := r.U64()
 	decs := r.U64()
-	cnt := int(r.U32())
+	cnt := r.Count(12) // len-prefixed item (≥4 bytes) + U64 count
 	if r.Err() != nil {
 		return r.Err()
 	}

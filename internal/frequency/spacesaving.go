@@ -226,14 +226,16 @@ func (s *SpaceSaving) UnmarshalBinary(data []byte) error {
 	}
 	k := int(r.U32())
 	n := r.U64()
-	cnt := int(r.U32())
+	cnt := r.Count(20) // len-prefixed item (≥4 bytes) + 2 × U64
 	if r.Err() != nil {
 		return r.Err()
 	}
 	if k < 1 || cnt > k {
 		return fmt.Errorf("%w: space-saving k=%d entries=%d", core.ErrCorrupt, k, cnt)
 	}
-	fresh := NewSpaceSaving(k)
+	// Size the map by the serialized entry count, not by k: k is an
+	// untrusted capacity that only bounds future growth.
+	fresh := &SpaceSaving{k: k, items: make(map[string]*ssEntry, cnt)}
 	fresh.n = n
 	for i := 0; i < cnt; i++ {
 		item := string(r.BytesField())

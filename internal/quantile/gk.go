@@ -164,7 +164,7 @@ func (s *GK) UnmarshalBinary(data []byte) error {
 	}
 	eps := r.F64()
 	n := r.U64()
-	cnt := int(r.U32())
+	cnt := r.Count(24) // F64 + 2 × U64 per tuple
 	if r.Err() != nil {
 		return r.Err()
 	}

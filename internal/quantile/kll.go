@@ -237,7 +237,7 @@ func (s *KLL) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary.
 func (s *KLL) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReader(data, core.TagKLL)
+	r, _, err := core.NewReaderVersioned(data, core.TagKLL, 1)
 	if err != nil {
 		return err
 	}

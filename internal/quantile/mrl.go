@@ -232,7 +232,9 @@ func (s *MRL) UnmarshalBinary(data []byte) error {
 		buffers[i].full = r.U8() == 1
 		buffers[i].vals = r.F64Slice()
 		if buffers[i].vals == nil {
-			buffers[i].vals = make([]float64, 0, k)
+			// No capacity hint: k is untrusted here and a corrupt value
+			// would pre-allocate gigabytes per empty buffer.
+			buffers[i].vals = []float64{}
 		}
 	}
 	if err := r.Done(); err != nil {

@@ -206,7 +206,7 @@ func (s *QDigest) UnmarshalBinary(data []byte) error {
 	logU := r.U8()
 	k := r.U64()
 	n := r.U64()
-	cnt := int(r.U32())
+	cnt := r.Count(16) // 2 × U64 per node
 	if r.Err() != nil {
 		return r.Err()
 	}

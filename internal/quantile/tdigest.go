@@ -314,7 +314,7 @@ func (s *TDigest) UnmarshalBinary(data []byte) error {
 	n := r.U64()
 	minV := r.F64()
 	maxV := r.F64()
-	cnt := int(r.U32())
+	cnt := r.Count(16) // 2 × F64 per centroid
 	if r.Err() != nil {
 		return r.Err()
 	}
@@ -328,8 +328,12 @@ func (s *TDigest) UnmarshalBinary(data []byte) error {
 	if err := r.Done(); err != nil {
 		return err
 	}
-	for i := 1; i < len(centroids); i++ {
-		if centroids[i].mean < centroids[i-1].mean {
+	for i, c := range centroids {
+		if !(c.weight > 0) || math.IsInf(c.weight, 0) || math.IsNaN(c.mean) {
+			return fmt.Errorf("%w: t-digest centroid %d (mean=%v weight=%v)",
+				core.ErrCorrupt, i, c.mean, c.weight)
+		}
+		if i > 0 && c.mean < centroids[i-1].mean {
 			return fmt.Errorf("%w: t-digest centroids unsorted", core.ErrCorrupt)
 		}
 	}

@@ -1,0 +1,195 @@
+// Package client is the Go client for sketchd (internal/server): a
+// thin wrapper over net/http that batches newline-delimited ingest,
+// exchanges merge envelopes, and decodes query and stats responses.
+// cmd/sketchbench's E25 loadgen uses it to measure ingest throughput
+// scaling; cmd/sketchcli-style tools can reuse it as-is.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// Client talks to one sketchd base URL. The zero value is not usable;
+// create with New. Safe for concurrent use — the underlying
+// http.Client pools keep-alive connections per goroutine.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for a base URL like "http://127.0.0.1:7600".
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// NewWithHTTPClient creates a client using a caller-provided
+// http.Client (custom transport limits, timeouts).
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Create registers a named sketch.
+func (c *Client) Create(name string, req server.CreateRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.post(c.url(name, ""), "application/json", body, nil)
+}
+
+// Add ingests a batch of string items in one request.
+func (c *Client) Add(name string, items []string) error {
+	return c.AddBatch(name, []byte(strings.Join(items, "\n")))
+}
+
+// AddBatch ingests a pre-joined newline-delimited batch. Loadgen hot
+// paths use this form to reuse one buffer across requests.
+func (c *Client) AddBatch(name string, batch []byte) error {
+	return c.post(c.url(name, "add"), "text/plain", batch, nil)
+}
+
+// Query runs the sketch's read operation and returns the decoded JSON
+// document.
+func (c *Client) Query(name string, params url.Values) (map[string]any, error) {
+	u := c.url(name, "query")
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	var out map[string]any
+	if err := c.get(u, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Estimate returns the "estimate" field of a query — the natural read
+// for hll, countmin and theta sketches.
+func (c *Client) Estimate(name string, params url.Values) (float64, error) {
+	res, err := c.Query(name, params)
+	if err != nil {
+		return 0, err
+	}
+	est, ok := res["estimate"].(float64)
+	if !ok {
+		return 0, fmt.Errorf("client: no estimate in query response %v", res)
+	}
+	return est, nil
+}
+
+// Merge posts a peer's MarshalBinary envelope into the named sketch.
+func (c *Client) Merge(name string, envelope []byte) error {
+	return c.post(c.url(name, "merge"), "application/octet-stream", envelope, nil)
+}
+
+// Snapshot fetches the sketch's serialization envelope.
+func (c *Client) Snapshot(name string) ([]byte, error) {
+	resp, err := c.hc.Get(c.url(name, "snapshot"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// Delete drops the named sketch.
+func (c *Client) Delete(name string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.url(name, ""), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	return drainStatus(resp)
+}
+
+// Statsz fetches the server's operation counters.
+func (c *Client) Statsz() (server.Statsz, error) {
+	var out server.Statsz
+	err := c.get(c.base+"/debug/statsz", &out)
+	return out, err
+}
+
+func (c *Client) url(name, op string) string {
+	u := c.base + "/v1/sketch/" + url.PathEscape(name)
+	if op != "" {
+		u += "/" + op
+	}
+	return u
+}
+
+func (c *Client) get(u string, out any) error {
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+func (c *Client) post(u, contentType string, body []byte, out any) error {
+	resp, err := c.hc.Post(u, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return drainStatus(resp)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return statusError(resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// drainStatus consumes the body (required to reuse the keep-alive
+// connection) and converts non-2xx statuses to errors.
+func drainStatus(resp *http.Response) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return statusError(resp.StatusCode, data)
+}
+
+func statusError(code int, body []byte) error {
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
+		return fmt.Errorf("client: HTTP %d: %s", code, doc.Error)
+	}
+	return fmt.Errorf("client: HTTP %d: %s", code, bytes.TrimSpace(body))
+}

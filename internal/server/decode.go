@@ -1,0 +1,30 @@
+package server
+
+import "bytes"
+
+// SplitBatch splits an ingest body into items: one item per line,
+// tolerant of CRLF and of a missing trailing newline; empty lines are
+// skipped. The returned slices alias data — callers hand them straight
+// to Entry.Add, which must not retain them.
+//
+// This is the request decoder the fuzz smoke target exercises together
+// with Entry.Merge: arbitrary bodies must split and ingest (or error)
+// without panicking.
+func SplitBatch(data []byte) [][]byte {
+	items := make([][]byte, 0, bytes.Count(data, []byte{'\n'})+1)
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if len(line) > 0 {
+			items = append(items, line)
+		}
+	}
+	return items
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hashx"
+)
+
+// ErrNotFound is returned when a request names a sketch that does not
+// exist in the registry.
+var ErrNotFound = fmt.Errorf("server: no such sketch")
+
+// ErrExists is returned when creating a sketch under a taken name.
+var ErrExists = fmt.Errorf("server: sketch already exists")
+
+// registry is the namespace of live sketches. Name lookup is striped
+// across independent read-write locks so that hot ingest paths for
+// different sketches never contend on one global registry lock; the
+// per-name entry then carries its own synchronization (lock-free for
+// the concurrent wrappers, a mutex for the rest).
+const registryStripes = 64
+
+type registry struct {
+	stripes [registryStripes]registryStripe
+}
+
+type registryStripe struct {
+	mu sync.RWMutex
+	m  map[string]*namedEntry
+}
+
+// namedEntry pairs an Entry with its registry metadata and per-sketch
+// ingest counter (surfaced on /debug/statsz).
+type namedEntry struct {
+	name  string
+	entry Entry
+	adds  core.Counter
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	for i := range r.stripes {
+		r.stripes[i].m = make(map[string]*namedEntry)
+	}
+	return r
+}
+
+func (r *registry) stripeFor(name string) *registryStripe {
+	return &r.stripes[hashx.XXHash64([]byte(name), 0)%registryStripes]
+}
+
+// get returns the named entry or ErrNotFound.
+func (r *registry) get(name string) (*namedEntry, error) {
+	s := r.stripeFor(name)
+	s.mu.RLock()
+	e, ok := s.m[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// create installs a new entry, failing if the name is taken.
+func (r *registry) create(name string, entry Entry) error {
+	s := r.stripeFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	s.m[name] = &namedEntry{name: name, entry: entry}
+	return nil
+}
+
+// remove deletes the named entry, reporting whether it existed.
+func (r *registry) remove(name string) bool {
+	s := r.stripeFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[name]; !ok {
+		return false
+	}
+	delete(s.m, name)
+	return true
+}
+
+// snapshot returns all entries sorted by name.
+func (r *registry) snapshot() []*namedEntry {
+	var out []*namedEntry
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.RLock()
+		for _, e := range s.m {
+			out = append(out, e)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,282 @@
+// Package server implements sketchd, the HTTP serving layer over the
+// sketch library: a namespace registry of named sketches with
+// endpoints for streaming ingest (newline-delimited batches), point
+// and estimate queries, mergeable-summary exchange (the peer posts a
+// MarshalBinary envelope, per the Mergeable Summaries model the paper
+// builds on), and serialization out. Hot sketch types ride the
+// wrappers in internal/concurrent — the sharded HLL and the lock-free
+// Count-Min — so ingest throughput scales with client concurrency;
+// everything else serializes behind a per-entry mutex with per-batch
+// locking.
+//
+// Routes (Go 1.22 pattern syntax):
+//
+//	POST   /v1/sketch/{name}           create (JSON CreateRequest body)
+//	POST   /v1/sketch/{name}/add       ingest newline-delimited items
+//	GET    /v1/sketch/{name}/query     type-specific read (see Entry.Query)
+//	POST   /v1/sketch/{name}/merge     absorb a peer MarshalBinary envelope
+//	GET    /v1/sketch/{name}/snapshot  serialize out (octet-stream)
+//	DELETE /v1/sketch/{name}           drop the sketch
+//	GET    /v1/sketch                  list sketches
+//	GET    /debug/statsz               operation counters and per-sketch bytes
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// maxBodyBytes bounds any request body; a batch or envelope larger
+// than this is rejected with 413 before it can balloon memory.
+const maxBodyBytes = 8 << 20
+
+// Server is the sketchd HTTP server. Create with New and mount
+// Handler on any net/http server.
+type Server struct {
+	reg     *registry
+	ops     core.OpCounters
+	start   time.Time
+	bufPool sync.Pool // *[]byte request-body buffers
+	mux     *http.ServeMux
+}
+
+// New creates an empty server.
+func New() *Server {
+	s := &Server{
+		reg:   newRegistry(),
+		start: time.Now(),
+	}
+	s.bufPool.New = func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sketch/{name}", s.handleCreate)
+	s.mux.HandleFunc("POST /v1/sketch/{name}/add", s.handleAdd)
+	s.mux.HandleFunc("GET /v1/sketch/{name}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/sketch/{name}/merge", s.handleMerge)
+	s.mux.HandleFunc("GET /v1/sketch/{name}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("DELETE /v1/sketch/{name}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/sketch", s.handleList)
+	s.mux.HandleFunc("GET /debug/statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ops exposes the operation counters (read-only use).
+func (s *Server) Ops() *core.OpCounters { return &s.ops }
+
+// readBody drains the request body into a pooled buffer. The returned
+// release func recycles the buffer; the body slice must not be
+// retained past it.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, release func(), ok bool) {
+	bp := s.bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	limited := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := limited.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.bufPool.Put(bp)
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				httpError(w, http.StatusRequestEntityTooLarge, "body over %d bytes", maxBodyBytes)
+			} else {
+				httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			}
+			return nil, nil, false
+		}
+	}
+	*bp = buf
+	return buf, func() { s.bufPool.Put(bp) }, true
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, release, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req CreateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "create body: %v", err)
+		return
+	}
+	entry, err := NewEntry(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.reg.create(name, entry); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "type": entry.Type()})
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	body, release, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	items := SplitBatch(body)
+	if err := e.entry.Add(items); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e.adds.Add(uint64(len(items)))
+	s.ops.Adds.Add(uint64(len(items)))
+	s.ops.AddBatches.Inc()
+	s.ops.BatchBytes.Add(uint64(len(body)))
+	writeJSON(w, http.StatusOK, map[string]any{"added": len(items)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	res, err := e.entry.Query(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.ops.Queries.Inc()
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	body, release, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if err := e.entry.Merge(body); err != nil {
+		// Incompatible shapes are a semantic conflict; corrupt bytes
+		// are a malformed request.
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrIncompatible) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	s.ops.Merges.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{"merged": true})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	data, err := e.entry.Snapshot()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.ops.Snapshots.Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.remove(name) {
+		httpError(w, http.StatusNotFound, "no such sketch %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.snapshot()
+	out := make([]map[string]any, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, map[string]any{"name": e.name, "type": e.entry.Type()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sketches": out})
+}
+
+// SketchStat is one sketch's row on /debug/statsz.
+type SketchStat struct {
+	Name  string `json:"name"`
+	Type  string `json:"type"`
+	Bytes int    `json:"bytes"`
+	Adds  uint64 `json:"adds"`
+}
+
+// Statsz is the /debug/statsz response document.
+type Statsz struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	AddsPerSec    float64         `json:"adds_per_sec"`
+	Ops           core.OpSnapshot `json:"ops"`
+	Sketches      []SketchStat    `json:"sketches"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	uptime := time.Since(s.start).Seconds()
+	ops := s.ops.Snapshot()
+	stats := Statsz{
+		UptimeSeconds: uptime,
+		Ops:           ops,
+		Sketches:      []SketchStat{},
+	}
+	if uptime > 0 {
+		stats.AddsPerSec = float64(ops.Adds) / uptime
+	}
+	for _, e := range s.reg.snapshot() {
+		stats.Sketches = append(stats.Sketches, SketchStat{
+			Name:  e.name,
+			Type:  e.entry.Type(),
+			Bytes: e.entry.SizeBytes(),
+			Adds:  e.adds.Load(),
+		})
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*namedEntry, bool) {
+	e, err := s.reg.get(r.PathValue("name"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	}
+	return e, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

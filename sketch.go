@@ -43,6 +43,8 @@ import (
 	"repro/internal/quantile"
 	"repro/internal/robust"
 	"repro/internal/sample"
+	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/window"
 )
 
@@ -431,6 +433,35 @@ func NewShardedHLL(shards int, p uint8, seed uint64) *ShardedHLL {
 func NewAtomicCountMin(width, depth int, seed uint64) *AtomicCountMin {
 	return concurrent.NewAtomicCountMin(width, depth, seed)
 }
+
+// Serving (sketchd): the HTTP layer over the library — a namespace of
+// named sketches with batched ingest, queries, mergeable-summary
+// exchange, and /debug/statsz counters. cmd/sketchd is the daemon;
+// experiment E25 measures its ingest throughput scaling.
+type (
+	// SketchServer is the sketchd HTTP server; mount Handler() on any
+	// net/http server.
+	SketchServer = server.Server
+	// ServerCreateRequest is the JSON body of sketch creation.
+	ServerCreateRequest = server.CreateRequest
+	// ServerEntry is one named sketch behind the registry.
+	ServerEntry = server.Entry
+	// ServerStatsz is the /debug/statsz response document.
+	ServerStatsz = server.Statsz
+	// ServerClient is the Go client for sketchd.
+	ServerClient = client.Client
+)
+
+// NewSketchServer creates an empty sketchd server.
+func NewSketchServer() *SketchServer { return server.New() }
+
+// NewServerClient creates a sketchd client for a base URL like
+// "http://127.0.0.1:7600".
+func NewServerClient(base string) *ServerClient { return client.New(base) }
+
+// NewServerEntry builds a server registry entry from creation
+// parameters (exposed for embedding sketchd-style registries).
+func NewServerEntry(req ServerCreateRequest) (ServerEntry, error) { return server.NewEntry(req) }
 
 // Kernel approximation (TensorSketch, cite [40]).
 type TensorSketch = kernel.TensorSketch
