@@ -1,0 +1,18 @@
+package sketch_test
+
+// Hot-path microbenchmarks under `go test -bench Hot -benchmem`. The
+// suite itself lives in internal/benchrun so `sketchbench -bench` can
+// run the identical code and serialize the results to BENCH_1.json;
+// see that package's doc comment for the fixed-working-set methodology.
+
+import (
+	"testing"
+
+	"repro/internal/benchrun"
+)
+
+func BenchmarkHot(b *testing.B) {
+	for _, nb := range benchrun.Benchmarks() {
+		b.Run(nb.Name, nb.F)
+	}
+}

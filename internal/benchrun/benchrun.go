@@ -1,0 +1,282 @@
+// Package benchrun is the reproducible hot-path benchmark harness: a
+// fixed suite of per-operation microbenchmarks over the sketch update
+// paths, runnable both under `go test -bench` (hotpath_bench_test.go
+// at the module root) and from `sketchbench -bench`, which serializes
+// the results to the BENCH_*.json trajectory files ROADMAP tracks.
+//
+// Methodology: every structure is sized once (L2-resident) and keys
+// cycle through a pre-generated pool, so ns/op measures the update
+// path itself rather than DRAM misses on a structure that grows with
+// b.N, and allocs/op exposes any per-item heap traffic — the two
+// quantities the hash-once/allocation-free work optimizes.
+package benchrun
+
+import (
+	"encoding/json"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/cardinality"
+	"repro/internal/concurrent"
+	"repro/internal/frequency"
+	"repro/internal/hashx"
+	"repro/internal/server"
+)
+
+// keyCount is the pooled-key working set; a power of two so the cycle
+// index is a mask, not a modulo.
+const keyCount = 1 << 16
+
+// ByteKeys returns keyCount distinct 8-byte keys.
+func ByteKeys() [][]byte {
+	keys := make([][]byte, keyCount)
+	for i := range keys {
+		keys[i] = hashx.Uint64Bytes(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	return keys
+}
+
+// StringKeys returns URL-shaped keys longer than 32 bytes — past the
+// size where a []byte(s) conversion can hide in a stack temporary, the
+// regime the string fast paths are specialized for.
+func StringKeys() []string {
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = "https://example.com/api/v1/users/" + strconv.Itoa(1_000_000+i*7919)
+	}
+	return keys
+}
+
+// NamedBench is one suite entry.
+type NamedBench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Benchmarks returns the hot-path suite in reporting order.
+func Benchmarks() []NamedBench {
+	return []NamedBench{
+		{"BloomAdd", func(b *testing.B) {
+			f := bloom.NewWithEstimates(1_000_000, 0.01, 1)
+			keys := ByteKeys()
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Add(keys[i&(keyCount-1)])
+			}
+		}},
+		{"BloomContains", func(b *testing.B) {
+			f := bloom.NewWithEstimates(1_000_000, 0.01, 1)
+			keys := ByteKeys()
+			for _, k := range keys {
+				f.Add(k)
+			}
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Contains(keys[i&(keyCount-1)])
+			}
+		}},
+		{"BloomAddString", func(b *testing.B) {
+			f := bloom.NewWithEstimates(1_000_000, 0.01, 1)
+			keys := StringKeys()
+			b.SetBytes(int64(len(keys[0])))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.AddString(keys[i&(keyCount-1)])
+			}
+		}},
+		{"CountMinAddUint64", func(b *testing.B) {
+			cm := frequency.NewCountMin(2048, 5, 1)
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cm.AddUint64(uint64(i), 1)
+			}
+		}},
+		{"CountMinAddBytes", func(b *testing.B) {
+			cm := frequency.NewCountMin(2048, 5, 1)
+			keys := ByteKeys()
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cm.Add(keys[i&(keyCount-1)], 1)
+			}
+		}},
+		{"CountMinAddString", func(b *testing.B) {
+			cm := frequency.NewCountMin(2048, 5, 1)
+			keys := StringKeys()
+			b.SetBytes(int64(len(keys[0])))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cm.AddString(keys[i&(keyCount-1)])
+			}
+		}},
+		{"CountMinKWiseAddUint64", func(b *testing.B) {
+			cm := frequency.NewCountMinKWise(2048, 5, 1)
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cm.AddUint64(uint64(i), 1)
+			}
+		}},
+		{"CountSketchAddUint64", func(b *testing.B) {
+			cs := frequency.NewCountSketch(2048, 5, 1)
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs.AddUint64(uint64(i), 1)
+			}
+		}},
+		{"HLLAddUint64", func(b *testing.B) {
+			h := cardinality.NewHLL(14, 1)
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.AddUint64(uint64(i))
+			}
+		}},
+		{"HLLAddString", func(b *testing.B) {
+			h := cardinality.NewHLL(14, 1)
+			keys := StringKeys()
+			b.SetBytes(int64(len(keys[0])))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.AddString(keys[i&(keyCount-1)])
+			}
+		}},
+		{"AtomicCountMinAddUint64", func(b *testing.B) {
+			cm := concurrent.NewAtomicCountMin(2048, 4, 1)
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cm.AddUint64(uint64(i), 1)
+			}
+		}},
+		{"AtomicCountMinAddHashBatch", func(b *testing.B) {
+			cm := concurrent.NewAtomicCountMin(2048, 4, 1)
+			hs := make([]uint64, 1024)
+			for i := range hs {
+				hs[i] = hashx.HashUint64(uint64(i), 1)
+			}
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(hs) {
+				cm.AddHashBatch(hs)
+			}
+		}},
+		{"ShardedHLLAddHashBatch", func(b *testing.B) {
+			s := concurrent.NewShardedHLL(runtime.GOMAXPROCS(0), 14, 1)
+			h := s.Handle()
+			hs := make([]uint64, 1024)
+			for i := range hs {
+				hs[i] = hashx.HashUint64(uint64(i), 1)
+			}
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(hs) {
+				h.AddHashBatch(hs)
+			}
+		}},
+		{"ServerCountMinIngest", serverCountMinIngest},
+		{"XXHash64String64B", func(b *testing.B) {
+			s := string(make([]byte, 64))
+			b.SetBytes(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hashx.XXHash64String(s, 1)
+			}
+		}},
+		{"Murmur3_128String64B", func(b *testing.B) {
+			s := string(make([]byte, 64))
+			b.SetBytes(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hashx.Murmur3_128String(s, 1)
+			}
+		}},
+	}
+}
+
+// serverCountMinIngest measures the full sketchd ingest inner loop —
+// SplitBatchAppend over a weighted newline-delimited body, weight
+// parsing and the countmin entry update — per line, excluding HTTP.
+func serverCountMinIngest(b *testing.B) {
+	entry, err := server.NewEntry(server.CreateRequest{Type: "countmin"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var body []byte
+	const lines = 1024
+	for i := 0; i < lines; i++ {
+		body = append(body, "item"+strconv.Itoa(i)+"\t3\n"...)
+	}
+	items := make([][]byte, 0, lines)
+	b.SetBytes(int64(len(body) / lines))
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lines {
+		items = server.SplitBatchAppend(items[:0], body)
+		if err := entry.Add(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Result is one benchmark's measured figures.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	Schema     int      `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// Run executes the whole suite with testing.Benchmark and collects the
+// results, calling progress (if non-nil) with each benchmark's name
+// before it starts. Callers control duration via testing.Init + the
+// test.benchtime flag (see cmd/sketchbench).
+func Run(progress func(name string)) Report {
+	rep := Report{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, nb := range Benchmarks() {
+		if progress != nil {
+			progress(nb.Name)
+		}
+		r := testing.Benchmark(nb.F)
+		res := Result{
+			Name:        nb.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerSec = float64(r.Bytes*int64(r.N)) / 1e6 / r.T.Seconds()
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// MarshalIndent renders the report as the committed JSON format.
+func (r Report) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

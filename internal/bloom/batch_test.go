@@ -1,0 +1,68 @@
+package bloom
+
+// Equivalence tests for the hash-once entry points: the batch and
+// string fast paths must leave byte-identical serialized state to the
+// one-item []byte path they shortcut.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func batchItems(n int) [][]byte {
+	items := make([][]byte, n)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("batch-item-%06d", i))
+	}
+	return items
+}
+
+func TestAddBatchMatchesSequential(t *testing.T) {
+	items := batchItems(5000)
+	seq := NewWithEstimates(10_000, 0.01, 7)
+	bat := NewWithEstimates(10_000, 0.01, 7)
+	for _, it := range items {
+		seq.Add(it)
+	}
+	bat.AddBatch(items)
+	a, err := seq.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bat.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("AddBatch state differs from sequential Add")
+	}
+}
+
+func TestStringPathsMatchByteSlices(t *testing.T) {
+	items := batchItems(2000)
+	viaBytes := NewWithEstimates(10_000, 0.01, 7)
+	viaString := NewWithEstimates(10_000, 0.01, 7)
+	for _, it := range items {
+		viaBytes.Add(it)
+		viaString.AddString(string(it))
+	}
+	a, _ := viaBytes.MarshalBinary()
+	b, _ := viaString.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("AddString state differs from Add on the same keys")
+	}
+	for _, it := range items {
+		if !viaBytes.ContainsString(string(it)) {
+			t.Fatalf("ContainsString(%q) = false after Add", it)
+		}
+		if viaBytes.Contains(it) != viaString.ContainsString(string(it)) {
+			t.Fatalf("Contains/ContainsString disagree on %q", it)
+		}
+	}
+	if viaString.ContainsString("") {
+		// Not required to be false, but must not panic on the empty key
+		// (the zero-copy view returns nil there).
+		t.Log("empty string reported present (false positive, acceptable)")
+	}
+}

@@ -68,43 +68,68 @@ func NewWithEstimates(n uint64, p float64, seed uint64) *Filter {
 	return New(m, k, seed)
 }
 
-// indexes yields the k bit positions for an item via double hashing:
-// g_i(x) = h1(x) + i·h2(x) mod m.
-func (f *Filter) indexes(item []byte, fn func(pos uint64)) {
+// Add inserts an item: one 128-bit hash pass, k derived positions.
+func (f *Filter) Add(item []byte) {
 	h1, h2 := hashx.Murmur3_128(item, f.seed)
-	// Force h2 odd so the stride cycles through the table even when m
-	// is a power of two.
-	h2 |= 1
-	for i := 0; i < f.k; i++ {
-		fn((h1 + uint64(i)*h2) % f.m)
-	}
+	f.AddHash(h1, h2)
 }
 
-// Add inserts an item.
-func (f *Filter) Add(item []byte) {
-	f.indexes(item, func(pos uint64) {
+// AddHash inserts an item from its pre-computed 128-bit hash. The k bit
+// positions derive by the Kirsch–Mitzenmacher double-hashing trick,
+// g_i = h1 + i·h2 reduced into [0, m) without division. Pipelines that
+// feed one hash to several sketches use this to skip re-hashing.
+func (f *Filter) AddHash(h1, h2 uint64) {
+	// Force h2 odd so the stride is never zero.
+	h2 |= 1
+	for i := 0; i < f.k; i++ {
+		pos := hashx.FastRange(h1, f.m)
 		f.bits[pos>>6] |= 1 << (pos & 63)
-	})
+		h1 += h2
+	}
 	f.n++
 }
 
-// AddString inserts a string item.
-func (f *Filter) AddString(item string) { f.Add([]byte(item)) }
+// AddString inserts a string item without copying or allocating.
+func (f *Filter) AddString(item string) {
+	h1, h2 := hashx.Murmur3_128String(item, f.seed)
+	f.AddHash(h1, h2)
+}
+
+// AddBatch inserts many items. State after AddBatch is byte-identical
+// to calling Add on each item in order.
+func (f *Filter) AddBatch(items [][]byte) {
+	for _, item := range items {
+		f.Add(item)
+	}
+}
 
 // Contains reports whether the item may be in the set. False positives
 // occur at the configured rate; false negatives never occur.
 func (f *Filter) Contains(item []byte) bool {
-	ok := true
-	f.indexes(item, func(pos uint64) {
-		if f.bits[pos>>6]&(1<<(pos&63)) == 0 {
-			ok = false
-		}
-	})
-	return ok
+	h1, h2 := hashx.Murmur3_128(item, f.seed)
+	return f.ContainsHash(h1, h2)
 }
 
-// ContainsString reports whether the string item may be in the set.
-func (f *Filter) ContainsString(item string) bool { return f.Contains([]byte(item)) }
+// ContainsHash answers a membership query from a pre-computed 128-bit
+// hash, probing the same k positions AddHash sets.
+func (f *Filter) ContainsHash(h1, h2 uint64) bool {
+	h2 |= 1
+	for i := 0; i < f.k; i++ {
+		pos := hashx.FastRange(h1, f.m)
+		if f.bits[pos>>6]&(1<<(pos&63)) == 0 {
+			return false
+		}
+		h1 += h2
+	}
+	return true
+}
+
+// ContainsString reports whether the string item may be in the set,
+// without copying or allocating.
+func (f *Filter) ContainsString(item string) bool {
+	h1, h2 := hashx.Murmur3_128String(item, f.seed)
+	return f.ContainsHash(h1, h2)
+}
 
 // Update implements the core.Updater streaming interface.
 func (f *Filter) Update(item []byte) { f.Add(item) }

@@ -35,21 +35,18 @@ func NewCounting(m uint64, k int, seed uint64) *CountingFilter {
 	return &CountingFilter{counts: make([]uint16, m), m: m, k: k, seed: seed}
 }
 
-func (f *CountingFilter) indexes(item []byte, fn func(pos uint64)) {
+// Add inserts an item, incrementing its k counters. Positions derive
+// from one 128-bit hash pass exactly as in Filter.AddHash.
+func (f *CountingFilter) Add(item []byte) {
 	h1, h2 := hashx.Murmur3_128(item, f.seed)
 	h2 |= 1
 	for i := 0; i < f.k; i++ {
-		fn((h1 + uint64(i)*h2) % f.m)
-	}
-}
-
-// Add inserts an item, incrementing its k counters.
-func (f *CountingFilter) Add(item []byte) {
-	f.indexes(item, func(pos uint64) {
+		pos := hashx.FastRange(h1, f.m)
 		if f.counts[pos] < countingMax {
 			f.counts[pos]++
 		}
-	})
+		h1 += h2
+	}
 	f.n++
 }
 
@@ -57,11 +54,15 @@ func (f *CountingFilter) Add(item []byte) {
 // never added corrupts the filter (standard counting-Bloom caveat), so
 // callers must pair removals with prior insertions.
 func (f *CountingFilter) Remove(item []byte) {
-	f.indexes(item, func(pos uint64) {
+	h1, h2 := hashx.Murmur3_128(item, f.seed)
+	h2 |= 1
+	for i := 0; i < f.k; i++ {
+		pos := hashx.FastRange(h1, f.m)
 		if f.counts[pos] > 0 && f.counts[pos] < countingMax {
 			f.counts[pos]--
 		}
-	})
+		h1 += h2
+	}
 	if f.n > 0 {
 		f.n--
 	}
@@ -69,13 +70,15 @@ func (f *CountingFilter) Remove(item []byte) {
 
 // Contains reports whether the item may be present.
 func (f *CountingFilter) Contains(item []byte) bool {
-	ok := true
-	f.indexes(item, func(pos uint64) {
-		if f.counts[pos] == 0 {
-			ok = false
+	h1, h2 := hashx.Murmur3_128(item, f.seed)
+	h2 |= 1
+	for i := 0; i < f.k; i++ {
+		if f.counts[hashx.FastRange(h1, f.m)] == 0 {
+			return false
 		}
-	})
-	return ok
+		h1 += h2
+	}
+	return true
 }
 
 // Update implements core.Updater.

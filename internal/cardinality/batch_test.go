@@ -1,0 +1,63 @@
+package cardinality
+
+// Batch-vs-sequential equivalence for HLL's hash-once entry points:
+// batch and string paths must leave byte-identical serialized state.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/hashx"
+)
+
+func TestHLLAddBatchMatchesSequential(t *testing.T) {
+	items := make([][]byte, 5000)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("hll-batch-%06d", i))
+	}
+	seq := NewHLL(12, 7)
+	bat := NewHLL(12, 7)
+	for _, it := range items {
+		seq.Add(it)
+	}
+	bat.AddBatch(items)
+	a, _ := seq.MarshalBinary()
+	b, _ := bat.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("AddBatch state differs from sequential Add")
+	}
+}
+
+func TestHLLAddHashBatchMatchesSequential(t *testing.T) {
+	hs := make([]uint64, 5000)
+	for i := range hs {
+		hs[i] = hashx.HashUint64(uint64(i), 7)
+	}
+	seq := NewHLL(12, 7)
+	bat := NewHLL(12, 7)
+	for _, h := range hs {
+		seq.AddHash(h)
+	}
+	bat.AddHashBatch(hs)
+	a, _ := seq.MarshalBinary()
+	b, _ := bat.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("AddHashBatch state differs from sequential AddHash")
+	}
+}
+
+func TestHLLStringMatchesBytes(t *testing.T) {
+	viaBytes := NewHLL(12, 7)
+	viaString := NewHLL(12, 7)
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("hll-equiv-%06d", i)
+		viaBytes.Add([]byte(key))
+		viaString.AddString(key)
+	}
+	a, _ := viaBytes.MarshalBinary()
+	b, _ := viaString.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("AddString state differs from Add on the same keys")
+	}
+}

@@ -66,8 +66,28 @@ func (h *HLL) Add(item []byte) {
 // AddUint64 inserts an integer item without allocation.
 func (h *HLL) AddUint64(v uint64) { h.AddHash(hashx.HashUint64(v, h.seed)) }
 
-// AddString inserts a string item.
-func (h *HLL) AddString(s string) { h.Add([]byte(s)) }
+// AddString inserts a string item without copying or allocating.
+func (h *HLL) AddString(s string) {
+	h1, _ := hashx.Murmur3_128String(s, h.seed)
+	h.AddHash(h1)
+}
+
+// AddBatch inserts many items. State after AddBatch is byte-identical
+// to calling Add on each item in order.
+func (h *HLL) AddBatch(items [][]byte) {
+	for _, item := range items {
+		h.Add(item)
+	}
+}
+
+// AddHashBatch folds many pre-hashed values in, hash-once pipelines'
+// batch entry point. State is byte-identical to calling AddHash per
+// value.
+func (h *HLL) AddHashBatch(hs []uint64) {
+	for _, x := range hs {
+		h.AddHash(x)
+	}
+}
 
 // Update implements core.Updater.
 func (h *HLL) Update(item []byte) { h.Add(item) }

@@ -121,6 +121,17 @@ func (h *HLLHandle) AddBatch(items [][]byte) {
 	h.slot.mu.Unlock()
 }
 
+// AddHashBatch folds many pre-hashed values in under one lock
+// acquisition. Hash-once pipelines use it so each item is hashed
+// exactly once, outside the lock, and the critical section is pure
+// register updates. State is identical to AddBatch on the pre-images.
+func (h *HLLHandle) AddHashBatch(hs []uint64) {
+	h.slot.mu.Lock()
+	h.slot.hll.AddHashBatch(hs)
+	h.slot.version.Add(uint64(len(hs)))
+	h.slot.mu.Unlock()
+}
+
 // epoch returns a value that strictly increases with every write to any
 // shard. Equal epochs imply an unchanged union.
 func (s *ShardedHLL) epoch() uint64 {
@@ -220,9 +231,13 @@ func (s *ShardedHLL) SizeBytes() int {
 // writes an estimate is a linearizable snapshot of each counter (not of
 // the whole row set), which preserves the never-undercount property for
 // items whose updates happened-before the query.
+//
+// Row positions use the same hash-once double-hashing scheme as
+// derived-mode frequency.CountMin — equal width, depth and seed imply
+// identical bucket addressing, which is what makes Merge and Snapshot
+// exchanges with the plain sketch exact.
 type AtomicCountMin struct {
 	counts []atomic.Uint64 // depth × width, row-major
-	rows   []*hashx.KWise
 	width  int
 	depth  int
 	seed   uint64
@@ -234,14 +249,8 @@ func NewAtomicCountMin(width, depth int, seed uint64) *AtomicCountMin {
 	if width < 1 || depth < 1 {
 		panic("concurrent: dimensions must be positive")
 	}
-	rowSeeds := hashx.SeedSequence(seed, depth)
-	rows := make([]*hashx.KWise, depth)
-	for i := range rows {
-		rows[i] = hashx.NewKWise(2, rowSeeds[i])
-	}
 	return &AtomicCountMin{
 		counts: make([]atomic.Uint64, width*depth),
-		rows:   rows,
 		width:  width,
 		depth:  depth,
 		seed:   seed,
@@ -252,40 +261,74 @@ func NewAtomicCountMin(width, depth int, seed uint64) *AtomicCountMin {
 // use without external locking.
 func (c *AtomicCountMin) AddUint64(item, weight uint64) {
 	h := hashx.HashUint64(item, c.seed)
+	c.AddHash2(h, hashx.DeriveH2(h), weight)
+}
+
+// Add adds weight occurrences of a byte-slice item: one 128-bit hash
+// pass, all row positions derived from it.
+func (c *AtomicCountMin) Add(item []byte, weight uint64) {
+	h1, h2 := hashx.Murmur3_128(item, c.seed)
+	c.AddHash2(h1, h2, weight)
+}
+
+// AddString adds weight occurrences of a string item without copying
+// or allocating.
+func (c *AtomicCountMin) AddString(item string, weight uint64) {
+	h1, h2 := hashx.Murmur3_128String(item, c.seed)
+	c.AddHash2(h1, h2, weight)
+}
+
+// AddHash folds a pre-hashed item in with the second stream expanded
+// via hashx.DeriveH2, matching frequency.CountMin.AddHash in derived
+// mode.
+func (c *AtomicCountMin) AddHash(h, weight uint64) {
+	c.AddHash2(h, hashx.DeriveH2(h), weight)
+}
+
+// AddHash2 adds weight at the derived row positions
+// FastRange(h1 + r·h2, width). Wait-free: one atomic add per row.
+func (c *AtomicCountMin) AddHash2(h1, h2, weight uint64) {
+	h2 |= 1
+	w := uint64(c.width)
+	x := h1
 	for r := 0; r < c.depth; r++ {
-		j := c.rows[r].HashRange(h, c.width)
-		c.counts[r*c.width+j].Add(weight)
+		c.counts[r*c.width+int(hashx.FastRange(x, w))].Add(weight)
+		x += h2
 	}
 	c.n.Add(weight)
 }
 
-// Add adds one occurrence of a byte-slice item.
-func (c *AtomicCountMin) Add(item []byte, weight uint64) {
-	h := hashx.XXHash64(item, c.seed)
-	for r := 0; r < c.depth; r++ {
-		j := c.rows[r].HashRange(h, c.width)
-		c.counts[r*c.width+j].Add(weight)
+// AddHashBatch folds many pre-hashed items in, each with weight 1 —
+// the hash-once batch entry point for ingest pipelines. State is
+// identical to calling AddHash per value.
+func (c *AtomicCountMin) AddHashBatch(hs []uint64) {
+	for _, h := range hs {
+		c.AddHash(h, 1)
 	}
-	c.n.Add(weight)
 }
 
 // Estimate returns the point-query estimate for a byte-slice item.
 func (c *AtomicCountMin) Estimate(item []byte) uint64 {
-	return c.estimateHash(hashx.XXHash64(item, c.seed))
+	h1, h2 := hashx.Murmur3_128(item, c.seed)
+	return c.estimateHash2(h1, h2)
 }
 
 // EstimateUint64 returns the point-query estimate for an integer item.
 func (c *AtomicCountMin) EstimateUint64(item uint64) uint64 {
-	return c.estimateHash(hashx.HashUint64(item, c.seed))
+	h := hashx.HashUint64(item, c.seed)
+	return c.estimateHash2(h, hashx.DeriveH2(h))
 }
 
-func (c *AtomicCountMin) estimateHash(h uint64) uint64 {
+func (c *AtomicCountMin) estimateHash2(h1, h2 uint64) uint64 {
+	h2 |= 1
+	w := uint64(c.width)
 	est := ^uint64(0)
+	x := h1
 	for r := 0; r < c.depth; r++ {
-		j := c.rows[r].HashRange(h, c.width)
-		if v := c.counts[r*c.width+j].Load(); v < est {
+		if v := c.counts[r*c.width+int(hashx.FastRange(x, w))].Load(); v < est {
 			est = v
 		}
+		x += h2
 	}
 	return est
 }
@@ -306,13 +349,16 @@ func (c *AtomicCountMin) Seed() uint64 { return c.seed }
 func (c *AtomicCountMin) SizeBytes() int { return len(c.counts) * 8 }
 
 // compatibleWith checks that a plain CountMin addresses the same
-// buckets: equal width, depth and seed imply identical row hashes,
-// because both types derive them from hashx.SeedSequence(seed, depth).
+// buckets: equal width, depth and seed in derived mode imply identical
+// double-hashed row positions.
 func (c *AtomicCountMin) compatibleWith(other *frequency.CountMin) error {
 	if c.width != other.Width() || c.depth != other.Depth() || c.seed != other.Seed() {
 		return fmt.Errorf("%w: atomic count-min %dx%d/seed=%d vs %dx%d/seed=%d",
 			core.ErrIncompatible, c.width, c.depth, c.seed,
 			other.Width(), other.Depth(), other.Seed())
+	}
+	if !other.Derived() {
+		return fmt.Errorf("%w: atomic count-min requires a derived-mode peer", core.ErrIncompatible)
 	}
 	if other.Conservative() {
 		return fmt.Errorf("%w: conservative-update sketches are not mergeable", core.ErrIncompatible)
@@ -360,11 +406,12 @@ func (c *AtomicCountMin) MarshalBinary() ([]byte, error) {
 }
 
 // MutexCountMin is the baseline: a Count-Min guarded by one mutex.
-// E7a uses it to show what sharding and atomics buy.
+// E7a uses it to show what sharding and atomics buy. It uses the same
+// derived row positions as AtomicCountMin so the comparison isolates
+// the synchronization cost, not the hashing.
 type MutexCountMin struct {
 	mu     sync.Mutex
 	counts [][]uint64
-	rows   []*hashx.KWise
 	width  int
 	seed   uint64
 }
@@ -378,20 +425,18 @@ func NewMutexCountMin(width, depth int, seed uint64) *MutexCountMin {
 	for i := range counts {
 		counts[i] = make([]uint64, width)
 	}
-	rowSeeds := hashx.SeedSequence(seed, depth)
-	rows := make([]*hashx.KWise, depth)
-	for i := range rows {
-		rows[i] = hashx.NewKWise(2, rowSeeds[i])
-	}
-	return &MutexCountMin{counts: counts, rows: rows, width: width, seed: seed}
+	return &MutexCountMin{counts: counts, width: width, seed: seed}
 }
 
 // AddUint64 adds weight to an item's count under the lock.
 func (c *MutexCountMin) AddUint64(item, weight uint64) {
 	h := hashx.HashUint64(item, c.seed)
+	h2 := hashx.DeriveH2(h)
+	w := uint64(c.width)
 	c.mu.Lock()
-	for r, row := range c.rows {
-		c.counts[r][row.HashRange(h, c.width)] += weight
+	for r := range c.counts {
+		c.counts[r][hashx.FastRange(h, w)] += weight
+		h += h2
 	}
 	c.mu.Unlock()
 }
@@ -399,13 +444,16 @@ func (c *MutexCountMin) AddUint64(item, weight uint64) {
 // EstimateUint64 returns the point-query estimate under the lock.
 func (c *MutexCountMin) EstimateUint64(item uint64) uint64 {
 	h := hashx.HashUint64(item, c.seed)
+	h2 := hashx.DeriveH2(h)
+	w := uint64(c.width)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	est := ^uint64(0)
-	for r, row := range c.rows {
-		if v := c.counts[r][row.HashRange(h, c.width)]; v < est {
+	for r := range c.counts {
+		if v := c.counts[r][hashx.FastRange(h, w)]; v < est {
 			est = v
 		}
+		h += h2
 	}
 	return est
 }

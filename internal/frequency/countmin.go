@@ -29,14 +29,21 @@ import (
 // ε·N with probability 1−δ.
 type CountMin struct {
 	counts       [][]uint64
-	rows         []*hashx.KWise
+	rows         []*hashx.KWise // nil in derived mode; the KWise slow path otherwise
 	width        int
 	seed         uint64
 	n            uint64 // total updates (weight), for error accounting
 	conservative bool
+	kwise        bool // row positions from per-row KWise polynomials instead of double hashing
 }
 
-// NewCountMin creates a width×depth Count-Min sketch.
+// NewCountMin creates a width×depth Count-Min sketch. Row positions
+// derive from a single hash of the item by double hashing
+// (j_r = h1 + r·h2 reduced into [0, width)), so an update costs one
+// hash pass plus depth multiply-adds — the hash-once discipline that
+// "An Evaluation of Software Sketches" (Friedman) identifies as the
+// dominant software optimization for this family. NewCountMinKWise
+// keeps the provably pairwise-independent per-row polynomials.
 func NewCountMin(width, depth int, seed uint64) *CountMin {
 	if width < 1 || depth < 1 {
 		panic("frequency: CountMin dimensions must be positive")
@@ -45,12 +52,31 @@ func NewCountMin(width, depth int, seed uint64) *CountMin {
 	for i := range counts {
 		counts[i] = make([]uint64, width)
 	}
+	return &CountMin{counts: counts, width: width, seed: seed}
+}
+
+// NewCountMinKWise creates a sketch whose row positions come from
+// depth independent 2-wise polynomial hashes — the construction the
+// formal Count-Min analysis assumes. It is the slow path (one field
+// multiplication and one division per row); the estimate-compatibility
+// tests use it as the reference the derived fast lane is judged
+// against.
+func NewCountMinKWise(width, depth int, seed uint64) *CountMin {
+	c := NewCountMin(width, depth, seed)
+	c.kwise = true
+	c.rows = newKWiseRows(seed, depth)
+	return c
+}
+
+// newKWiseRows derives the per-row 2-wise hash functions every
+// KWise-mode sketch with the same (seed, depth) shares.
+func newKWiseRows(seed uint64, depth int) []*hashx.KWise {
 	rowSeeds := hashx.SeedSequence(seed, depth)
 	rows := make([]*hashx.KWise, depth)
 	for i := range rows {
 		rows[i] = hashx.NewKWise(2, rowSeeds[i])
 	}
-	return &CountMin{counts: counts, rows: rows, width: width, seed: seed}
+	return rows
 }
 
 // NewCountMinWithSpec sizes the sketch from an (ε, δ) contract.
@@ -74,24 +100,50 @@ func (c *CountMin) SetConservative(on bool) {
 	c.conservative = on
 }
 
-// Add increments the count of item by weight.
+// Add increments the count of item by weight: one 128-bit hash pass,
+// all row positions derived from it.
 func (c *CountMin) Add(item []byte, weight uint64) {
-	c.AddHash(hashx.XXHash64(item, c.seed), weight)
+	if c.kwise {
+		c.AddHash(hashx.XXHash64(item, c.seed), weight)
+		return
+	}
+	h1, h2 := hashx.Murmur3_128(item, c.seed)
+	c.AddHash2(h1, h2, weight)
 }
 
 // AddUint64 increments an integer item's count by weight.
 func (c *CountMin) AddUint64(item, weight uint64) {
-	c.AddHash(hashx.HashUint64(item, c.seed), weight)
+	h := hashx.HashUint64(item, c.seed)
+	if c.kwise {
+		c.AddHash(h, weight)
+		return
+	}
+	c.AddHash2(h, hashx.DeriveH2(h), weight)
 }
 
-// AddString increments a string item's count by one.
-func (c *CountMin) AddString(item string) { c.Add([]byte(item), 1) }
+// AddString increments a string item's count by one without copying or
+// allocating.
+func (c *CountMin) AddString(item string) {
+	if c.kwise {
+		c.AddHash(hashx.XXHash64String(item, c.seed), 1)
+		return
+	}
+	h1, h2 := hashx.Murmur3_128String(item, c.seed)
+	c.AddHash2(h1, h2, 1)
+}
 
 // Update implements core.Updater (weight 1).
 func (c *CountMin) Update(item []byte) { c.Add(item, 1) }
 
-// AddHash folds a pre-hashed item into the sketch.
+// AddHash folds a pre-hashed item into the sketch. In derived mode the
+// second double-hashing stream is expanded from h via hashx.DeriveH2,
+// so feeding the same h here and to estimateHash-based queries stays
+// position-consistent.
 func (c *CountMin) AddHash(h, weight uint64) {
+	if !c.kwise {
+		c.AddHash2(h, hashx.DeriveH2(h), weight)
+		return
+	}
 	if c.conservative {
 		est := c.estimateHash(h)
 		target := est + weight
@@ -109,21 +161,79 @@ func (c *CountMin) AddHash(h, weight uint64) {
 	c.n += weight
 }
 
+// AddHash2 is the derived-mode fast lane: row r touches bucket
+// FastRange(h1 + r·h2, width), so the whole update is depth
+// multiply-adds on top of one hash. In KWise mode h2 is ignored and the
+// update routes through the row polynomials on h1.
+func (c *CountMin) AddHash2(h1, h2, weight uint64) {
+	if c.kwise {
+		c.AddHash(h1, weight)
+		return
+	}
+	h2 |= 1
+	w := uint64(c.width)
+	if c.conservative {
+		est := c.estimateHash2(h1, h2)
+		target := est + weight
+		x := h1
+		for r := range c.counts {
+			j := hashx.FastRange(x, w)
+			if c.counts[r][j] < target {
+				c.counts[r][j] = target
+			}
+			x += h2
+		}
+	} else {
+		x := h1
+		for r := range c.counts {
+			c.counts[r][hashx.FastRange(x, w)] += weight
+			x += h2
+		}
+	}
+	c.n += weight
+}
+
+// AddHashBatch folds many pre-hashed items in, each with weight 1. The
+// resulting state is byte-identical to calling AddHash per item.
+func (c *CountMin) AddHashBatch(hs []uint64) {
+	for _, h := range hs {
+		c.AddHash(h, 1)
+	}
+}
+
 // Estimate returns the point-query estimate for item: an overestimate
 // of the true count by at most ε‖f‖₁ with probability 1−δ.
 func (c *CountMin) Estimate(item []byte) uint64 {
-	return c.estimateHash(hashx.XXHash64(item, c.seed))
+	if c.kwise {
+		return c.estimateHash(hashx.XXHash64(item, c.seed))
+	}
+	h1, h2 := hashx.Murmur3_128(item, c.seed)
+	return c.estimateHash2(h1, h2)
 }
 
 // EstimateUint64 returns the point-query estimate for an integer item.
 func (c *CountMin) EstimateUint64(item uint64) uint64 {
-	return c.estimateHash(hashx.HashUint64(item, c.seed))
+	h := hashx.HashUint64(item, c.seed)
+	if c.kwise {
+		return c.estimateHash(h)
+	}
+	return c.estimateHash2(h, hashx.DeriveH2(h))
 }
 
-// EstimateString returns the point-query estimate for a string item.
-func (c *CountMin) EstimateString(item string) uint64 { return c.Estimate([]byte(item)) }
+// EstimateString returns the point-query estimate for a string item
+// without copying or allocating.
+func (c *CountMin) EstimateString(item string) uint64 {
+	if c.kwise {
+		return c.estimateHash(hashx.XXHash64String(item, c.seed))
+	}
+	h1, h2 := hashx.Murmur3_128String(item, c.seed)
+	return c.estimateHash2(h1, h2)
+}
 
 func (c *CountMin) estimateHash(h uint64) uint64 {
+	if !c.kwise {
+		return c.estimateHash2(h, hashx.DeriveH2(h))
+	}
 	est := uint64(math.MaxUint64)
 	for r, row := range c.rows {
 		if v := c.counts[r][row.HashRange(h, c.width)]; v < est {
@@ -133,18 +243,45 @@ func (c *CountMin) estimateHash(h uint64) uint64 {
 	return est
 }
 
+func (c *CountMin) estimateHash2(h1, h2 uint64) uint64 {
+	h2 |= 1
+	w := uint64(c.width)
+	est := uint64(math.MaxUint64)
+	x := h1
+	for r := range c.counts {
+		if v := c.counts[r][hashx.FastRange(x, w)]; v < est {
+			est = v
+		}
+		x += h2
+	}
+	return est
+}
+
 // EstimatePerRow exposes each row's counter value and bucket index for
 // an item. Wrappers that post-process counters (the differentially
 // private sketch in internal/privacy adds per-counter noise) need the
 // per-row view rather than the final minimum.
 func (c *CountMin) EstimatePerRow(item []byte) (counts []uint64, buckets []int) {
-	h := hashx.XXHash64(item, c.seed)
-	counts = make([]uint64, len(c.rows))
-	buckets = make([]int, len(c.rows))
-	for r, row := range c.rows {
-		j := row.HashRange(h, c.width)
+	depth := len(c.counts)
+	counts = make([]uint64, depth)
+	buckets = make([]int, depth)
+	if c.kwise {
+		h := hashx.XXHash64(item, c.seed)
+		for r, row := range c.rows {
+			j := row.HashRange(h, c.width)
+			buckets[r] = j
+			counts[r] = c.counts[r][j]
+		}
+		return counts, buckets
+	}
+	h1, h2 := hashx.Murmur3_128(item, c.seed)
+	h2 |= 1
+	w := uint64(c.width)
+	for r := range c.counts {
+		j := int(hashx.FastRange(h1, w))
 		buckets[r] = j
 		counts[r] = c.counts[r][j]
+		h1 += h2
 	}
 	return counts, buckets
 }
@@ -194,11 +331,17 @@ func (c *CountMin) Seed() uint64 { return c.seed }
 // makes the sketch non-mergeable).
 func (c *CountMin) Conservative() bool { return c.conservative }
 
+// Derived reports whether row positions come from the double-hashing
+// fast lane (true, the default) or the per-row KWise polynomials.
+// Sketches in different modes address different buckets and are not
+// mergeable.
+func (c *CountMin) Derived() bool { return !c.kwise }
+
 // CountsRowMajor returns a copy of the counter grid flattened in
 // row-major order (row r, bucket j at index r*width+j). It exists so
 // hash-compatible external representations — notably
-// concurrent.AtomicCountMin, which derives its row hashes from the same
-// SeedSequence — can exchange counters with this sketch.
+// concurrent.AtomicCountMin, which derives its row positions by the
+// same double-hashing scheme — can exchange counters with this sketch.
 func (c *CountMin) CountsRowMajor() []uint64 {
 	out := make([]uint64, 0, len(c.counts)*c.width)
 	for _, row := range c.counts {
@@ -207,10 +350,10 @@ func (c *CountMin) CountsRowMajor() []uint64 {
 	return out
 }
 
-// NewCountMinFromCounts reconstitutes a sketch from a row-major counter
-// grid produced by a hash-compatible peer (same width, depth and seed
-// imply identical row hash functions, since both sides derive them from
-// SeedSequence(seed, depth)). counts must hold width*depth values.
+// NewCountMinFromCounts reconstitutes a derived-mode sketch from a
+// row-major counter grid produced by a hash-compatible peer (same
+// width, depth and seed imply identical derived row positions). counts
+// must hold width*depth values.
 func NewCountMinFromCounts(width, depth int, seed uint64, counts []uint64, n uint64) (*CountMin, error) {
 	if width < 1 || depth < 1 || len(counts) != width*depth {
 		return nil, fmt.Errorf("%w: %d counters for a %dx%d grid",
@@ -229,6 +372,9 @@ func (c *CountMin) compatible(other *CountMin) error {
 		return fmt.Errorf("%w: count-min %dx%d/seed=%d vs %dx%d/seed=%d",
 			core.ErrIncompatible, c.width, len(c.counts), c.seed,
 			other.width, len(other.counts), other.seed)
+	}
+	if c.kwise != other.kwise {
+		return fmt.Errorf("%w: count-min row-hash modes differ (derived vs kwise)", core.ErrIncompatible)
 	}
 	return nil
 }
@@ -256,6 +402,7 @@ func (c *CountMin) Merge(other *CountMin) error {
 // Clone returns a deep copy.
 func (c *CountMin) Clone() *CountMin {
 	cp := NewCountMin(c.width, len(c.counts), c.seed)
+	cp.kwise, cp.rows = c.kwise, c.rows // rows are immutable once built
 	cp.conservative = c.conservative
 	cp.n = c.n
 	for r := range c.counts {
@@ -264,14 +411,21 @@ func (c *CountMin) Clone() *CountMin {
 	return cp
 }
 
-// MarshalBinary serializes the sketch.
+// MarshalBinary serializes the sketch. Version 2 adds the row-hash
+// mode byte; version-1 payloads (written before the derived fast lane
+// existed) decode as KWise-mode sketches.
 func (c *CountMin) MarshalBinary() ([]byte, error) {
-	w := core.NewWriter(core.TagCountMin, 1)
+	w := core.NewWriter(core.TagCountMin, 2)
 	w.U32(uint32(c.width))
 	w.U32(uint32(len(c.counts)))
 	w.U64(c.seed)
 	w.U64(c.n)
 	if c.conservative {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	if c.kwise {
 		w.U8(1)
 	} else {
 		w.U8(0)
@@ -284,7 +438,7 @@ func (c *CountMin) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary.
 func (c *CountMin) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReaderVersioned(data, core.TagCountMin, 1)
+	r, version, err := core.NewReaderVersioned(data, core.TagCountMin, 2)
 	if err != nil {
 		return err
 	}
@@ -293,6 +447,10 @@ func (c *CountMin) UnmarshalBinary(data []byte) error {
 	seed := r.U64()
 	n := r.U64()
 	conservative := r.U8() == 1
+	kwise := version < 2 // every version-1 writer used KWise rows
+	if version >= 2 {
+		kwise = r.U8() == 1
+	}
 	if r.Err() != nil {
 		return r.Err()
 	}
@@ -310,6 +468,10 @@ func (c *CountMin) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	fresh := NewCountMin(width, depth, seed)
+	if kwise {
+		fresh.kwise = true
+		fresh.rows = newKWiseRows(seed, depth)
+	}
 	fresh.counts = counts
 	fresh.n = n
 	fresh.conservative = conservative

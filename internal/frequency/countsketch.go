@@ -18,15 +18,20 @@ import (
 // internal/fetchsgd).
 type CountSketch struct {
 	counts [][]int64
-	bucket []*hashx.KWise // 2-wise bucket hashes, one per row
-	sign   []*hashx.KWise // 4-wise sign hashes, one per row
+	bucket []*hashx.KWise // KWise mode: 2-wise bucket hashes, one per row
+	sign   []*hashx.KWise // KWise mode: 4-wise sign hashes, one per row
 	width  int
 	seed   uint64
 	n      uint64
+	kwise  bool // row buckets/signs from KWise polynomials instead of double hashing
 }
 
 // NewCountSketch creates a width×depth Count Sketch. Depth should be
 // odd so the median is unambiguous; even depths are raised by one.
+// Row buckets and signs derive from a single 128-bit hash of the item
+// (double hashing for buckets, bits of a remixed h2 for signs);
+// NewCountSketchKWise keeps the per-row polynomial hashes the formal
+// analysis assumes.
 func NewCountSketch(width, depth int, seed uint64) *CountSketch {
 	if width < 1 || depth < 1 {
 		panic("frequency: CountSketch dimensions must be positive")
@@ -38,36 +43,110 @@ func NewCountSketch(width, depth int, seed uint64) *CountSketch {
 	for i := range counts {
 		counts[i] = make([]int64, width)
 	}
+	return &CountSketch{counts: counts, width: width, seed: seed}
+}
+
+// NewCountSketchKWise creates a sketch on the slow path: per-row 2-wise
+// bucket hashes and 4-wise sign hashes, the construction behind the L2
+// guarantee proofs. The estimate-compatibility tests use it as the
+// reference for the derived fast lane.
+func NewCountSketchKWise(width, depth int, seed uint64) *CountSketch {
+	c := NewCountSketch(width, depth, seed)
+	c.kwise = true
+	c.bucket, c.sign = newCountSketchRows(seed, len(c.counts))
+	return c
+}
+
+// newCountSketchRows derives the per-row bucket and sign hash functions
+// every KWise-mode sketch with the same (seed, depth) shares.
+func newCountSketchRows(seed uint64, depth int) (bucket, sign []*hashx.KWise) {
 	seeds := hashx.SeedSequence(seed, 2*depth)
-	bucket := make([]*hashx.KWise, depth)
-	sign := make([]*hashx.KWise, depth)
+	bucket = make([]*hashx.KWise, depth)
+	sign = make([]*hashx.KWise, depth)
 	for i := 0; i < depth; i++ {
 		bucket[i] = hashx.NewKWise(2, seeds[2*i])
 		sign[i] = hashx.NewKWise(4, seeds[2*i+1])
 	}
-	return &CountSketch{counts: counts, bucket: bucket, sign: sign, width: width, seed: seed}
+	return bucket, sign
 }
 
 // Add adds weight (may be negative: turnstile streams are supported) to
-// the count of item.
+// the count of item: one 128-bit hash pass, all row buckets and signs
+// derived from it.
 func (c *CountSketch) Add(item []byte, weight int64) {
-	c.AddHash(hashx.XXHash64(item, c.seed), weight)
+	if c.kwise {
+		c.AddHash(hashx.XXHash64(item, c.seed), weight)
+		return
+	}
+	h1, h2 := hashx.Murmur3_128(item, c.seed)
+	c.AddHash2(h1, h2, weight)
 }
 
 // AddUint64 adds weight to an integer item's count.
 func (c *CountSketch) AddUint64(item uint64, weight int64) {
-	c.AddHash(hashx.HashUint64(item, c.seed), weight)
+	h := hashx.HashUint64(item, c.seed)
+	if c.kwise {
+		c.AddHash(h, weight)
+		return
+	}
+	c.AddHash2(h, hashx.DeriveH2(h), weight)
+}
+
+// AddString adds weight to a string item's count without copying or
+// allocating.
+func (c *CountSketch) AddString(item string, weight int64) {
+	if c.kwise {
+		c.AddHash(hashx.XXHash64String(item, c.seed), weight)
+		return
+	}
+	h1, h2 := hashx.Murmur3_128String(item, c.seed)
+	c.AddHash2(h1, h2, weight)
 }
 
 // Update implements core.Updater (weight 1).
 func (c *CountSketch) Update(item []byte) { c.Add(item, 1) }
 
-// AddHash folds a pre-hashed item into the sketch.
+// AddHash folds a pre-hashed item into the sketch. In derived mode the
+// second stream expands from h via hashx.DeriveH2, matching
+// EstimateUint64's derivation.
 func (c *CountSketch) AddHash(h uint64, weight int64) {
+	if !c.kwise {
+		c.AddHash2(h, hashx.DeriveH2(h), weight)
+		return
+	}
 	for r := range c.counts {
 		j := c.bucket[r].HashRange(h, c.width)
 		c.counts[r][j] += c.sign[r].Sign(h) * weight
 	}
+	c.countWeight(weight)
+}
+
+// AddHash2 is the derived-mode fast lane: row r's bucket is
+// FastRange(h1 + r·h2, width) and its sign is bit r of a remixed h2
+// (remixed so the forced-odd stride bit never biases a sign). In KWise
+// mode h2 is ignored and the update routes through the row polynomials.
+func (c *CountSketch) AddHash2(h1, h2 uint64, weight int64) {
+	if c.kwise {
+		c.AddHash(h1, weight)
+		return
+	}
+	signBits := hashx.Mix64(h2)
+	h2 |= 1
+	w := uint64(c.width)
+	x := h1
+	for r := range c.counts {
+		j := hashx.FastRange(x, w)
+		// Branchless ±weight: a random sign branch would mispredict
+		// half the time, one stall per row. m is 0 (keep) or -1
+		// (negate via two's complement identity (v^m)-m).
+		m := -int64(signBits >> (uint(r) & 63) & 1)
+		c.counts[r][j] += (weight ^ m) - m
+		x += h2
+	}
+	c.countWeight(weight)
+}
+
+func (c *CountSketch) countWeight(weight int64) {
 	if weight >= 0 {
 		c.n += uint64(weight)
 	} else {
@@ -79,12 +158,20 @@ func (c *CountSketch) AddHash(h uint64, weight int64) {
 // of sign-corrected counters). Unlike Count-Min it can under- as well
 // as overestimate.
 func (c *CountSketch) Estimate(item []byte) int64 {
-	return c.estimateHash(hashx.XXHash64(item, c.seed))
+	if c.kwise {
+		return c.estimateHash(hashx.XXHash64(item, c.seed))
+	}
+	h1, h2 := hashx.Murmur3_128(item, c.seed)
+	return c.estimateHash2(h1, h2)
 }
 
 // EstimateUint64 returns the point-query estimate for an integer item.
 func (c *CountSketch) EstimateUint64(item uint64) int64 {
-	return c.estimateHash(hashx.HashUint64(item, c.seed))
+	h := hashx.HashUint64(item, c.seed)
+	if c.kwise {
+		return c.estimateHash(h)
+	}
+	return c.estimateHash2(h, hashx.DeriveH2(h))
 }
 
 func (c *CountSketch) estimateHash(h uint64) int64 {
@@ -92,6 +179,21 @@ func (c *CountSketch) estimateHash(h uint64) int64 {
 	for r := range c.counts {
 		j := c.bucket[r].HashRange(h, c.width)
 		ests[r] = c.sign[r].Sign(h) * c.counts[r][j]
+	}
+	return int64(core.MedianInt64(ests))
+}
+
+func (c *CountSketch) estimateHash2(h1, h2 uint64) int64 {
+	ests := make([]int64, len(c.counts))
+	signBits := hashx.Mix64(h2)
+	h2 |= 1
+	w := uint64(c.width)
+	x := h1
+	for r := range c.counts {
+		v := c.counts[r][hashx.FastRange(x, w)]
+		m := -int64(signBits >> (uint(r) & 63) & 1)
+		ests[r] = (v ^ m) - m
+		x += h2
 	}
 	return int64(core.MedianInt64(ests))
 }
@@ -129,10 +231,15 @@ func (c *CountSketch) ErrorBoundL2() float64 {
 // SizeBytes returns the counter storage size.
 func (c *CountSketch) SizeBytes() int { return len(c.counts) * c.width * 8 }
 
+// Derived reports whether buckets and signs come from the
+// double-hashing fast lane (true, the default) or per-row KWise
+// polynomials.
+func (c *CountSketch) Derived() bool { return !c.kwise }
+
 // Merge adds another sketch's counters cell-wise (the structure is
 // linear, so this is exact).
 func (c *CountSketch) Merge(other *CountSketch) error {
-	if c.width != other.width || len(c.counts) != len(other.counts) || c.seed != other.seed {
+	if c.width != other.width || len(c.counts) != len(other.counts) || c.seed != other.seed || c.kwise != other.kwise {
 		return fmt.Errorf("%w: count-sketch shape mismatch", core.ErrIncompatible)
 	}
 	for r := range c.counts {
@@ -144,13 +251,19 @@ func (c *CountSketch) Merge(other *CountSketch) error {
 	return nil
 }
 
-// MarshalBinary serializes the sketch.
+// MarshalBinary serializes the sketch. Version 2 adds the row-hash
+// mode byte; version-1 payloads decode as KWise-mode sketches.
 func (c *CountSketch) MarshalBinary() ([]byte, error) {
-	w := core.NewWriter(core.TagCountSketch, 1)
+	w := core.NewWriter(core.TagCountSketch, 2)
 	w.U32(uint32(c.width))
 	w.U32(uint32(len(c.counts)))
 	w.U64(c.seed)
 	w.U64(c.n)
+	if c.kwise {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
 	for _, row := range c.counts {
 		w.I64Slice(row)
 	}
@@ -159,7 +272,7 @@ func (c *CountSketch) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary.
 func (c *CountSketch) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReader(data, core.TagCountSketch)
+	r, version, err := core.NewReaderVersioned(data, core.TagCountSketch, 2)
 	if err != nil {
 		return err
 	}
@@ -167,6 +280,10 @@ func (c *CountSketch) UnmarshalBinary(data []byte) error {
 	depth := int(r.U32())
 	seed := r.U64()
 	n := r.U64()
+	kwise := version < 2 // every version-1 writer used KWise rows
+	if version >= 2 {
+		kwise = r.U8() == 1
+	}
 	if r.Err() != nil {
 		return r.Err()
 	}
@@ -183,15 +300,12 @@ func (c *CountSketch) UnmarshalBinary(data []byte) error {
 	if err := r.Done(); err != nil {
 		return err
 	}
-	// Rebuild hash rows from the seed; depth may have been rounded odd
-	// at construction, so rebuild with the serialized depth directly.
-	seeds := hashx.SeedSequence(seed, 2*depth)
-	bucket := make([]*hashx.KWise, depth)
-	sign := make([]*hashx.KWise, depth)
-	for i := 0; i < depth; i++ {
-		bucket[i] = hashx.NewKWise(2, seeds[2*i])
-		sign[i] = hashx.NewKWise(4, seeds[2*i+1])
+	// KWise hash rows rebuild from the seed; depth may have been rounded
+	// odd at construction, so rebuild with the serialized depth directly.
+	var bucket, sign []*hashx.KWise
+	if kwise {
+		bucket, sign = newCountSketchRows(seed, depth)
 	}
-	c.width, c.seed, c.n, c.counts, c.bucket, c.sign = width, seed, n, counts, bucket, sign
+	c.width, c.seed, c.n, c.counts, c.bucket, c.sign, c.kwise = width, seed, n, counts, bucket, sign, kwise
 	return nil
 }

@@ -1,0 +1,210 @@
+package frequency
+
+// Tests for the derived (hash-once) fast lane added alongside the
+// KWise reference rows: batch/string entry points must be byte-exact
+// against the single-item path, both row-hash modes must deliver their
+// accuracy guarantees, and the wire format must round-trip the mode
+// (with version-1 payloads still decoding as KWise).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashx"
+)
+
+func TestCountMinAddHashBatchMatchesSequential(t *testing.T) {
+	hs := make([]uint64, 4096)
+	for i := range hs {
+		hs[i] = hashx.HashUint64(uint64(i), 99)
+	}
+	seq := NewCountMin(1024, 5, 3)
+	bat := NewCountMin(1024, 5, 3)
+	for _, h := range hs {
+		seq.AddHash(h, 1)
+	}
+	bat.AddHashBatch(hs)
+	a, _ := seq.MarshalBinary()
+	b, _ := bat.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("AddHashBatch state differs from sequential AddHash")
+	}
+}
+
+func TestCountMinStringMatchesBytes(t *testing.T) {
+	viaBytes := NewCountMin(1024, 5, 3)
+	viaString := NewCountMin(1024, 5, 3)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("string-equiv-%06d", i)
+		viaBytes.Add([]byte(key), 1)
+		viaString.AddString(key)
+	}
+	a, _ := viaBytes.MarshalBinary()
+	b, _ := viaString.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("AddString state differs from Add on the same keys")
+	}
+	if got, want := viaString.EstimateString("string-equiv-000042"), viaBytes.Estimate([]byte("string-equiv-000042")); got != want {
+		t.Fatalf("EstimateString = %d, Estimate = %d", got, want)
+	}
+}
+
+// skewedStream feeds a deterministic skewed stream (item i appears
+// total/(i+1) times) and returns the exact counts.
+func skewedStream(add func(item uint64, weight uint64)) map[uint64]uint64 {
+	truth := make(map[uint64]uint64)
+	for i := uint64(0); i < 500; i++ {
+		w := 5000 / (i + 1)
+		add(i, w)
+		truth[i] = w
+	}
+	return truth
+}
+
+func TestCountMinDerivedAndKWiseBothWithinBound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cm   *CountMin
+	}{
+		{"derived", NewCountMin(2048, 5, 11)},
+		{"kwise", NewCountMinKWise(2048, 5, 11)},
+	} {
+		truth := skewedStream(func(item, w uint64) { tc.cm.AddUint64(item, w) })
+		bound := uint64(tc.cm.ErrorBound()) + 1
+		for item, want := range truth {
+			got := tc.cm.EstimateUint64(item)
+			if got < want {
+				t.Fatalf("%s: estimate(%d) = %d underestimates true %d", tc.name, item, got, want)
+			}
+			if got > want+bound {
+				t.Errorf("%s: estimate(%d) = %d exceeds %d + bound %d", tc.name, item, got, want, bound)
+			}
+		}
+	}
+}
+
+func TestCountMinModeRoundTripAndMergeGuard(t *testing.T) {
+	derived := NewCountMin(512, 4, 5)
+	kwise := NewCountMinKWise(512, 4, 5)
+	for i := uint64(0); i < 1000; i++ {
+		derived.AddUint64(i, 1)
+		kwise.AddUint64(i, 1)
+	}
+	for _, tc := range []struct {
+		name string
+		cm   *CountMin
+	}{{"derived", derived}, {"kwise", kwise}} {
+		data, err := tc.cm.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CountMin
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if back.Derived() != tc.cm.Derived() {
+			t.Fatalf("%s: round-trip flipped Derived() to %v", tc.name, back.Derived())
+		}
+		if got, want := back.EstimateUint64(7), tc.cm.EstimateUint64(7); got != want {
+			t.Fatalf("%s: round-trip estimate %d != %d", tc.name, got, want)
+		}
+		round, _ := back.MarshalBinary()
+		if !bytes.Equal(round, data) {
+			t.Fatalf("%s: second marshal differs", tc.name)
+		}
+	}
+	if err := derived.Merge(kwise); !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("Merge(derived, kwise) = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestCountMinVersion1DecodesAsKWise(t *testing.T) {
+	// Hand-write a version-1 envelope (no mode byte): it must decode as
+	// a KWise sketch whose estimates match a live KWise twin.
+	ref := NewCountMinKWise(256, 4, 9)
+	for i := uint64(0); i < 500; i++ {
+		ref.AddUint64(i%50, 1)
+	}
+	w := core.NewWriter(core.TagCountMin, 1)
+	w.U32(uint32(ref.width))
+	w.U32(uint32(len(ref.counts)))
+	w.U64(ref.seed)
+	w.U64(ref.n)
+	w.U8(0) // conservative=false; v1 ends here, before the mode byte
+	for _, row := range ref.counts {
+		w.U64Slice(row)
+	}
+	var back CountMin
+	if err := back.UnmarshalBinary(w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if back.Derived() {
+		t.Fatal("version-1 payload decoded as derived; want KWise")
+	}
+	for i := uint64(0); i < 50; i++ {
+		if got, want := back.EstimateUint64(i), ref.EstimateUint64(i); got != want {
+			t.Fatalf("estimate(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCountSketchModeRoundTripAndMergeGuard(t *testing.T) {
+	derived := NewCountSketch(512, 5, 5)
+	kwise := NewCountSketchKWise(512, 5, 5)
+	for i := uint64(0); i < 1000; i++ {
+		derived.AddUint64(i%100, 1)
+		kwise.AddUint64(i%100, 1)
+	}
+	for _, tc := range []struct {
+		name string
+		cs   *CountSketch
+	}{{"derived", derived}, {"kwise", kwise}} {
+		data, err := tc.cs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CountSketch
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if back.Derived() != tc.cs.Derived() {
+			t.Fatalf("%s: round-trip flipped Derived()", tc.name)
+		}
+		if got, want := back.EstimateUint64(7), tc.cs.EstimateUint64(7); got != want {
+			t.Fatalf("%s: round-trip estimate %d != %d", tc.name, got, want)
+		}
+	}
+	if err := derived.Merge(kwise); !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("Merge(derived, kwise) = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestCountSketchDerivedAccuracy(t *testing.T) {
+	cs := NewCountSketch(2048, 5, 13)
+	truth := skewedStream(func(item, w uint64) { cs.AddUint64(item, int64(w)) })
+	bound := int64(3 * cs.ErrorBoundL2()) // median of 5 rows, 3σ slack
+	for item, want := range truth {
+		got := cs.EstimateUint64(item)
+		if got < int64(want)-bound || got > int64(want)+bound {
+			t.Errorf("derived estimate(%d) = %d, true %d, allowed ±%d", item, got, want, bound)
+		}
+	}
+}
+
+func TestCountSketchStringMatchesBytes(t *testing.T) {
+	viaBytes := NewCountSketch(512, 5, 3)
+	viaString := NewCountSketch(512, 5, 3)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("cs-equiv-%06d", i)
+		viaBytes.Add([]byte(key), 2)
+		viaString.AddString(key, 2)
+	}
+	a, _ := viaBytes.MarshalBinary()
+	b, _ := viaString.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("AddString state differs from Add on the same keys")
+	}
+}

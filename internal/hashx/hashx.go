@@ -11,7 +11,10 @@
 // which keeps every experiment in this repository reproducible.
 package hashx
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Hasher64 maps byte strings to 64-bit values. Implementations must be
 // deterministic: equal inputs always produce equal outputs.
@@ -53,10 +56,28 @@ func HashUint64(v, seed uint64) uint64 {
 	return avalanche(h)
 }
 
-// HashString hashes a string under the given seed without copying the
-// string when the compiler can prove it safe.
+// HashString hashes a string under the given seed without copying or
+// allocating.
 func HashString(s string, seed uint64) uint64 {
-	return XXHash64([]byte(s), seed)
+	return XXHash64String(s, seed)
+}
+
+// FastRange maps a uniform 64-bit value to [0, n) with a multiply-high
+// instead of a modulo (Lemire's fastrange). On the sketch hot paths the
+// saved 64-bit division is the single largest per-row cost.
+func FastRange(x, n uint64) uint64 {
+	hi, _ := bits.Mul64(x, n)
+	return hi
+}
+
+// DeriveH2 expands a single 64-bit item hash into the second
+// double-hashing stream: g_i(x) = h + i·DeriveH2(h). The low bit is
+// forced so the stride is never zero. Every sketch that accepts a
+// pre-hashed item through a single-uint64 AddHash derives its per-row
+// positions this way, which keeps "hash once, update everywhere"
+// pipelines position-compatible across sketch types.
+func DeriveH2(h uint64) uint64 {
+	return Mix64(h) | 1
 }
 
 // Mix64 applies the SplitMix64 finalizer, a full-avalanche 64-bit

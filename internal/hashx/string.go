@@ -1,0 +1,29 @@
+package hashx
+
+import "unsafe"
+
+// bytesView returns a zero-copy []byte view of s. The view aliases the
+// string's backing array, so callers must treat it as read-only and
+// must not retain it past the call — both guaranteed by the pure hash
+// functions below, which only read their input. This is the standard
+// technique (cespare/xxhash, runtime maphash) for hashing strings
+// without the []byte(s) copy that otherwise allocates on every call.
+func bytesView(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}
+
+// XXHash64String computes XXHash64 of the string's bytes without
+// copying them. Output is identical to XXHash64([]byte(s), seed).
+func XXHash64String(s string, seed uint64) uint64 {
+	return XXHash64(bytesView(s), seed)
+}
+
+// Murmur3_128String computes the 128-bit Murmur3 of the string's bytes
+// without copying them. Output is identical to
+// Murmur3_128([]byte(s), seed).
+func Murmur3_128String(s string, seed uint64) (uint64, uint64) {
+	return Murmur3_128(bytesView(s), seed)
+}

@@ -1,0 +1,50 @@
+package hashx
+
+// The zero-copy string specializations must be bit-exact with the
+// []byte originals for every length (the implementations share the
+// core, but the unsafe view and the empty-string guard are worth
+// pinning down across block boundaries).
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringHashesMatchByteHashes(t *testing.T) {
+	long := strings.Repeat("abcdefgh-0123456", 20) // 320 bytes
+	for length := 0; length <= len(long); length++ {
+		s := long[:length]
+		b := []byte(s)
+		for _, seed := range []uint64{0, 1, 0xdeadbeef} {
+			if got, want := XXHash64String(s, seed), XXHash64(b, seed); got != want {
+				t.Fatalf("XXHash64String(len=%d, seed=%#x) = %#x, want %#x", length, seed, got, want)
+			}
+			g1, g2 := Murmur3_128String(s, seed)
+			w1, w2 := Murmur3_128(b, seed)
+			if g1 != w1 || g2 != w2 {
+				t.Fatalf("Murmur3_128String(len=%d, seed=%#x) = (%#x,%#x), want (%#x,%#x)", length, seed, g1, g2, w1, w2)
+			}
+		}
+	}
+}
+
+func TestDeriveH2AlwaysOdd(t *testing.T) {
+	for i := uint64(0); i < 10_000; i++ {
+		if DeriveH2(i)&1 != 1 {
+			t.Fatalf("DeriveH2(%d) is even; double-hashing stride must be odd", i)
+		}
+	}
+}
+
+func TestFastRangeBounds(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 1024, 1 << 40} {
+		for _, x := range []uint64{0, 1, ^uint64(0), 0x8000000000000000} {
+			if got := FastRange(x, n); got >= n {
+				t.Fatalf("FastRange(%#x, %d) = %d out of range", x, n, got)
+			}
+		}
+		if got := FastRange(^uint64(0), n); got != n-1 {
+			t.Fatalf("FastRange(max, %d) = %d, want %d", n, got, n-1)
+		}
+	}
+}

@@ -11,7 +11,14 @@ import "bytes"
 // with Entry.Merge: arbitrary bodies must split and ingest (or error)
 // without panicking.
 func SplitBatch(data []byte) [][]byte {
-	items := make([][]byte, 0, bytes.Count(data, []byte{'\n'})+1)
+	return SplitBatchAppend(make([][]byte, 0, bytes.Count(data, []byte{'\n'})+1), data)
+}
+
+// SplitBatchAppend splits like SplitBatch but appends into dst, so the
+// serving hot path can reuse a pooled [][]byte across requests instead
+// of allocating a fresh header slice per batch. The item slices alias
+// data; dst's previous contents must already be released.
+func SplitBatchAppend(dst [][]byte, data []byte) [][]byte {
 	for len(data) > 0 {
 		line := data
 		if i := bytes.IndexByte(data, '\n'); i >= 0 {
@@ -23,8 +30,8 @@ func SplitBatch(data []byte) [][]byte {
 			line = line[:n-1]
 		}
 		if len(line) > 0 {
-			items = append(items, line)
+			dst = append(dst, line)
 		}
 	}
-	return items
+	return dst
 }

@@ -172,21 +172,24 @@ type cmEntry struct {
 func (e *cmEntry) Type() string { return "countmin" }
 
 func (e *cmEntry) Add(items [][]byte) error {
-	// Parse all weights before updating so a bad line rejects the
-	// batch without a partial ingest.
-	weights := make([]uint64, len(items))
-	for i, item := range items {
-		weights[i] = 1
+	// Validate every weight before the first update so a bad line
+	// rejects the batch without a partial ingest. parseWeight is a
+	// no-alloc []byte parser and re-running it in the apply loop is a
+	// few ns per line — cheaper than materializing a weights slice.
+	for _, item := range items {
 		if tab := lastTab(item); tab >= 0 {
-			w, err := strconv.ParseUint(string(item[tab+1:]), 10, 64)
-			if err != nil {
+			if _, err := parseWeight(item[tab+1:]); err != nil {
 				return fmt.Errorf("%w: weight %q: %v", ErrBadParams, item[tab+1:], err)
 			}
-			weights[i], items[i] = w, item[:tab]
 		}
 	}
-	for i, item := range items {
-		e.cm.Add(item, weights[i])
+	for _, item := range items {
+		weight := uint64(1)
+		if tab := lastTab(item); tab >= 0 {
+			weight, _ = parseWeight(item[tab+1:])
+			item = item[:tab]
+		}
+		e.cm.Add(item, weight)
 	}
 	return nil
 }
@@ -223,6 +226,31 @@ func lastTab(b []byte) int {
 	return -1
 }
 
+// errBadWeight is the shared parse failure; the caller wraps it with
+// the offending bytes.
+var errBadWeight = errors.New("expect decimal uint64")
+
+// parseWeight decodes a decimal uint64 from b without allocating — the
+// strconv.ParseUint(string(b), …) it replaces copied every weight
+// suffix onto the heap once per ingested line.
+func parseWeight(b []byte) (uint64, error) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, errBadWeight
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, errBadWeight
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, errBadWeight
+		}
+		v = v*10 + d
+	}
+	return v, nil
+}
+
 // lockedEntry is the shared shape of the mutex-guarded types: the
 // registry stripe finds the entry without contention, then the entry
 // mutex serializes sketch access per batch, not per item.
@@ -235,9 +263,7 @@ func (e *bloomEntry) Type() string { return "bloom" }
 
 func (e *bloomEntry) Add(items [][]byte) error {
 	e.mu.Lock()
-	for _, item := range items {
-		e.f.Add(item)
-	}
+	e.f.AddBatch(items)
 	e.mu.Unlock()
 	return nil
 }

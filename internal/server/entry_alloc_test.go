@@ -1,0 +1,89 @@
+package server
+
+// Internal tests for the allocation-free ingest path: the no-alloc
+// weight parser's accept/reject behavior, cmEntry.Add's
+// validate-then-apply batch semantics, and a regression check that the
+// whole per-batch loop stays at zero heap allocations.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseWeight(t *testing.T) {
+	good := map[string]uint64{
+		"0":                    0,
+		"1":                    1,
+		"42":                   42,
+		"18446744073709551615": ^uint64(0),
+	}
+	for in, want := range good {
+		got, err := parseWeight([]byte(in))
+		if err != nil || got != want {
+			t.Errorf("parseWeight(%q) = %d, %v; want %d, nil", in, got, err, want)
+		}
+	}
+	bad := []string{
+		"", "-1", "+1", " 1", "1 ", "1.5", "0x10", "abc",
+		"18446744073709551616",  // max uint64 + 1
+		"99999999999999999999",  // 20 digits, overflows
+		"184467440737095516150", // 21 digits
+	}
+	for _, in := range bad {
+		if got, err := parseWeight([]byte(in)); err == nil {
+			t.Errorf("parseWeight(%q) = %d, nil; want error", in, got)
+		}
+	}
+	// Cross-check against strconv over a spread of values.
+	for _, v := range []uint64{0, 7, 1 << 20, 1 << 40, ^uint64(0) - 1} {
+		s := strconv.FormatUint(v, 10)
+		got, err := parseWeight([]byte(s))
+		if err != nil || got != v {
+			t.Errorf("parseWeight(%q) = %d, %v; want %d, nil", s, got, err, v)
+		}
+	}
+}
+
+func TestCMEntryAddRejectsBatchAtomically(t *testing.T) {
+	entry, err := NewEntry(CreateRequest{Type: "countmin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second line's weight is malformed: nothing from the batch may
+	// land, including the valid first line.
+	batch := [][]byte{[]byte("alpha\t5"), []byte("beta\tbogus"), []byte("gamma\t2")}
+	if err := entry.Add(batch); err == nil {
+		t.Fatal("Add with malformed weight: want error, got nil")
+	}
+	cm := entry.(*cmEntry).cm
+	if n := cm.N(); n != 0 {
+		t.Fatalf("after rejected batch, N() = %d, want 0 (no partial ingest)", n)
+	}
+	if err := entry.Add([][]byte{[]byte("alpha\t5"), []byte("alpha"), []byte("gamma\t2")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.Estimate([]byte("alpha")); got != 6 {
+		t.Errorf("Estimate(alpha) = %d, want 6 (5 weighted + 1 unweighted)", got)
+	}
+	if got := cm.Estimate([]byte("gamma")); got != 2 {
+		t.Errorf("Estimate(gamma) = %d, want 2", got)
+	}
+}
+
+func TestCMEntryAddZeroAlloc(t *testing.T) {
+	entry, err := NewEntry(CreateRequest{Type: "countmin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(strings.Repeat("some-item\t3\nplain-item\n", 64))
+	items := make([][]byte, 0, 128)
+	if n := testing.AllocsPerRun(50, func() {
+		items = SplitBatchAppend(items[:0], body)
+		if err := entry.Add(items); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("split+Add batch: %v allocs per batch, want 0", n)
+	}
+}

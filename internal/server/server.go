@@ -40,11 +40,12 @@ const maxBodyBytes = 8 << 20
 // Server is the sketchd HTTP server. Create with New and mount
 // Handler on any net/http server.
 type Server struct {
-	reg     *registry
-	ops     core.OpCounters
-	start   time.Time
-	bufPool sync.Pool // *[]byte request-body buffers
-	mux     *http.ServeMux
+	reg       *registry
+	ops       core.OpCounters
+	start     time.Time
+	bufPool   sync.Pool // *[]byte request-body buffers
+	itemsPool sync.Pool // *[][]byte split-batch item headers
+	mux       *http.ServeMux
 }
 
 // New creates an empty server.
@@ -56,6 +57,10 @@ func New() *Server {
 	s.bufPool.New = func() any {
 		b := make([]byte, 0, 64<<10)
 		return &b
+	}
+	s.itemsPool.New = func() any {
+		items := make([][]byte, 0, 1024)
+		return &items
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sketch/{name}", s.handleCreate)
@@ -140,7 +145,16 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	items := SplitBatch(body)
+	// Split zero-copy into a pooled header slice: the item slices alias
+	// the pooled body buffer, and entries are contractually forbidden
+	// from retaining either, so both recycle at the end of the request.
+	ip := s.itemsPool.Get().(*[][]byte)
+	items := SplitBatchAppend((*ip)[:0], body)
+	defer func() {
+		clear(items) // drop aliases into the body buffer before pooling
+		*ip = items[:0]
+		s.itemsPool.Put(ip)
+	}()
 	if err := e.entry.Add(items); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return

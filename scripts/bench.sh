@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate BENCH_1.json: run the internal/benchrun hot-path
+# microbenchmark suite via sketchbench and write the JSON report at the
+# repo root. Extra arguments pass through (e.g. -benchtime 100ms for a
+# quick smoke run, -benchout - for stdout).
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/sketchbench -bench "$@"

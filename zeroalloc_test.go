@@ -1,0 +1,71 @@
+package sketch_test
+
+// Allocation-regression tests for the hash-once hot paths: every
+// per-item update and query below must stay at exactly zero heap
+// allocations, or the BENCH_1.json throughput numbers quietly rot.
+// Keys are longer than 32 bytes where strings are involved, past the
+// size where the compiler could hide a []byte(s) conversion in a stack
+// temporary.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/cardinality"
+	"repro/internal/concurrent"
+	"repro/internal/frequency"
+	"repro/internal/hashx"
+)
+
+func assertZeroAlloc(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(100, fn); n != 0 {
+		t.Errorf("%s: %v allocs per op, want 0", name, n)
+	}
+}
+
+func TestZeroAllocHotPaths(t *testing.T) {
+	key := []byte("https://example.com/api/v1/users/1000000")
+	skey := strings.Repeat("zero-alloc-key/", 4) // 60 bytes
+
+	f := bloom.NewWithEstimates(10_000, 0.01, 1)
+	assertZeroAlloc(t, "bloom.Add", func() { f.Add(key) })
+	assertZeroAlloc(t, "bloom.Contains", func() { _ = f.Contains(key) })
+	assertZeroAlloc(t, "bloom.AddString", func() { f.AddString(skey) })
+	assertZeroAlloc(t, "bloom.ContainsString", func() { _ = f.ContainsString(skey) })
+
+	cf := bloom.NewCounting(1<<14, 5, 1)
+	assertZeroAlloc(t, "bloom.CountingFilter.Add", func() { cf.Add(key) })
+	assertZeroAlloc(t, "bloom.CountingFilter.Contains", func() { _ = cf.Contains(key) })
+
+	cm := frequency.NewCountMin(512, 4, 1)
+	assertZeroAlloc(t, "frequency.CountMin.AddUint64", func() { cm.AddUint64(42, 1) })
+	assertZeroAlloc(t, "frequency.CountMin.Add", func() { cm.Add(key, 1) })
+	assertZeroAlloc(t, "frequency.CountMin.AddString", func() { cm.AddString(skey) })
+	assertZeroAlloc(t, "frequency.CountMin.EstimateUint64", func() { _ = cm.EstimateUint64(42) })
+
+	ccm := frequency.NewCountMin(512, 4, 1)
+	ccm.SetConservative(true)
+	assertZeroAlloc(t, "frequency.CountMin(conservative).AddUint64", func() { ccm.AddUint64(42, 1) })
+
+	cs := frequency.NewCountSketch(512, 5, 1)
+	assertZeroAlloc(t, "frequency.CountSketch.AddUint64", func() { cs.AddUint64(42, 1) })
+	assertZeroAlloc(t, "frequency.CountSketch.AddString", func() { cs.AddString(skey, 1) })
+
+	h := cardinality.NewHLL(12, 1)
+	assertZeroAlloc(t, "cardinality.HLL.AddUint64", func() { h.AddUint64(42) })
+	assertZeroAlloc(t, "cardinality.HLL.Add", func() { h.Add(key) })
+	assertZeroAlloc(t, "cardinality.HLL.AddString", func() { h.AddString(skey) })
+
+	acm := concurrent.NewAtomicCountMin(512, 4, 1)
+	assertZeroAlloc(t, "concurrent.AtomicCountMin.AddUint64", func() { acm.AddUint64(42, 1) })
+	assertZeroAlloc(t, "concurrent.AtomicCountMin.AddString", func() { acm.AddString(skey, 1) })
+	assertZeroAlloc(t, "concurrent.AtomicCountMin.EstimateUint64", func() { _ = acm.EstimateUint64(42) })
+
+	handle := concurrent.NewShardedHLL(4, 12, 1).Handle()
+	assertZeroAlloc(t, "concurrent.HLLHandle.AddUint64", func() { handle.AddUint64(42) })
+
+	assertZeroAlloc(t, "hashx.XXHash64String", func() { _ = hashx.XXHash64String(skey, 1) })
+	assertZeroAlloc(t, "hashx.Murmur3_128String", func() { _, _ = hashx.Murmur3_128String(skey, 1) })
+}
