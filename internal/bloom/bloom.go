@@ -213,9 +213,12 @@ func (f *Filter) Clone() *Filter {
 // space experiments report.
 func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
 
-// MarshalBinary serializes the filter.
+// MarshalBinary serializes the filter. Wire version 2 marks filters
+// whose bit positions are derived by FastRange reduction; version 1
+// was written when positions were reduced by modulo, so its payloads
+// address different bits and are not decodable (see UnmarshalBinary).
 func (f *Filter) MarshalBinary() ([]byte, error) {
-	w := core.NewWriter(core.TagBloom, 1)
+	w := core.NewWriter(core.TagBloom, 2)
 	w.U64(f.m)
 	w.U32(uint32(f.k))
 	w.U64(f.seed)
@@ -225,10 +228,19 @@ func (f *Filter) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalBinary restores a filter serialized by MarshalBinary.
+// Version-1 payloads are rejected: they were written when bit positions
+// were reduced by modulo rather than FastRange, so their set bits do
+// not line up with the positions Contains probes today, and decoding
+// one would silently break the no-false-negative guarantee. No in-place
+// migration exists (the original items are gone); v1 filters must be
+// rebuilt from their source data.
 func (f *Filter) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReaderVersioned(data, core.TagBloom, 1)
+	r, version, err := core.NewReaderVersioned(data, core.TagBloom, 2)
 	if err != nil {
 		return err
+	}
+	if version < 2 {
+		return fmt.Errorf("%w: bloom wire version 1 used modulo bit addressing; decoding it under FastRange addressing would introduce false negatives — rebuild the filter", core.ErrIncompatible)
 	}
 	m := r.U64()
 	k := int(r.U32())

@@ -107,9 +107,11 @@ func (f *CountingFilter) Merge(other *CountingFilter) error {
 	return nil
 }
 
-// MarshalBinary serializes the filter.
+// MarshalBinary serializes the filter. Wire version 2 marks filters
+// whose counter positions are derived by FastRange reduction; version 1
+// (modulo positions) is not decodable, as with Filter.
 func (f *CountingFilter) MarshalBinary() ([]byte, error) {
-	w := core.NewWriter(core.TagCountingBloom, 1)
+	w := core.NewWriter(core.TagCountingBloom, 2)
 	w.U64(f.m)
 	w.U32(uint32(f.k))
 	w.U64(f.seed)
@@ -123,10 +125,16 @@ func (f *CountingFilter) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalBinary restores a filter serialized by MarshalBinary.
+// Version-1 payloads (modulo counter addressing) are rejected for the
+// same reason as Filter's: their counters sit at positions today's
+// probes never read, so membership and counts would silently be wrong.
 func (f *CountingFilter) UnmarshalBinary(data []byte) error {
-	r, _, err := core.NewReader(data, core.TagCountingBloom)
+	r, version, err := core.NewReaderVersioned(data, core.TagCountingBloom, 2)
 	if err != nil {
 		return err
+	}
+	if version < 2 {
+		return fmt.Errorf("%w: counting bloom wire version 1 used modulo addressing; rebuild the filter", core.ErrIncompatible)
 	}
 	m := r.U64()
 	k := int(r.U32())

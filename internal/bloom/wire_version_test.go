@@ -1,0 +1,66 @@
+package bloom
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The switch from modulo to FastRange bit addressing changed which bits
+// an item maps to, so filters serialized under the old addressing
+// (wire version 1) must be rejected outright: decoding one would
+// silently violate the no-false-negative guarantee.
+
+func v1BloomEnvelope(tag byte) []byte {
+	w := core.NewWriter(tag, 1)
+	w.U64(128) // m
+	w.U32(3)   // k
+	w.U64(7)   // seed
+	w.U64(0)   // n
+	w.U64Slice(make([]uint64, 2))
+	return w.Bytes()
+}
+
+func TestBloomRejectsVersion1(t *testing.T) {
+	var f Filter
+	err := f.UnmarshalBinary(v1BloomEnvelope(core.TagBloom))
+	if !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("version-1 bloom payload: err = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestCountingBloomRejectsVersion1(t *testing.T) {
+	w := core.NewWriter(core.TagCountingBloom, 1)
+	w.U64(8) // m
+	w.U32(3) // k
+	w.U64(7) // seed
+	w.U64(0) // n
+	w.U64Slice(make([]uint64, 2))
+	var f CountingFilter
+	err := f.UnmarshalBinary(w.Bytes())
+	if !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("version-1 counting bloom payload: err = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestBloomWritesVersion2(t *testing.T) {
+	f := New(128, 3, 7)
+	f.AddString("x")
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, version, err := core.NewReader(data, core.TagBloom); err != nil || version != 2 {
+		t.Fatalf("bloom envelope version = %d (err %v), want 2", version, err)
+	}
+	cf := NewCounting(64, 3, 7)
+	cf.Add([]byte("x"))
+	cdata, err := cf.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, version, err := core.NewReader(cdata, core.TagCountingBloom); err != nil || version != 2 {
+		t.Fatalf("counting bloom envelope version = %d (err %v), want 2", version, err)
+	}
+}

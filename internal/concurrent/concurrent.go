@@ -260,37 +260,31 @@ func NewAtomicCountMin(width, depth int, seed uint64) *AtomicCountMin {
 // AddUint64 adds weight to an integer item's count. Safe for concurrent
 // use without external locking.
 func (c *AtomicCountMin) AddUint64(item, weight uint64) {
-	h := hashx.HashUint64(item, c.seed)
-	c.AddHash2(h, hashx.DeriveH2(h), weight)
+	c.AddHash(hashx.HashUint64(item, c.seed), weight)
 }
 
-// Add adds weight occurrences of a byte-slice item: one 128-bit hash
-// pass, all row positions derived from it.
+// Add adds weight occurrences of a byte-slice item: one hash pass, all
+// row positions derived from it. Equivalent to
+// AddHash(hashx.XXHash64(item, seed), weight), the same item→bucket map
+// as derived-mode frequency.CountMin.
 func (c *AtomicCountMin) Add(item []byte, weight uint64) {
-	h1, h2 := hashx.Murmur3_128(item, c.seed)
-	c.AddHash2(h1, h2, weight)
+	c.AddHash(hashx.XXHash64(item, c.seed), weight)
 }
 
 // AddString adds weight occurrences of a string item without copying
 // or allocating.
 func (c *AtomicCountMin) AddString(item string, weight uint64) {
-	h1, h2 := hashx.Murmur3_128String(item, c.seed)
-	c.AddHash2(h1, h2, weight)
+	c.AddHash(hashx.XXHash64String(item, c.seed), weight)
 }
 
-// AddHash folds a pre-hashed item in with the second stream expanded
-// via hashx.DeriveH2, matching frequency.CountMin.AddHash in derived
-// mode.
+// AddHash adds weight at the derived row positions
+// FastRange(h + r·DeriveH2(h), width), matching
+// frequency.CountMin.AddHash in derived mode. Wait-free: one atomic add
+// per row.
 func (c *AtomicCountMin) AddHash(h, weight uint64) {
-	c.AddHash2(h, hashx.DeriveH2(h), weight)
-}
-
-// AddHash2 adds weight at the derived row positions
-// FastRange(h1 + r·h2, width). Wait-free: one atomic add per row.
-func (c *AtomicCountMin) AddHash2(h1, h2, weight uint64) {
-	h2 |= 1
+	h2 := hashx.DeriveH2(h)
 	w := uint64(c.width)
-	x := h1
+	x := h
 	for r := 0; r < c.depth; r++ {
 		c.counts[r*c.width+int(hashx.FastRange(x, w))].Add(weight)
 		x += h2
@@ -307,23 +301,22 @@ func (c *AtomicCountMin) AddHashBatch(hs []uint64) {
 	}
 }
 
-// Estimate returns the point-query estimate for a byte-slice item.
+// Estimate returns the point-query estimate for a byte-slice item,
+// probing exactly the buckets Add touched for the same item.
 func (c *AtomicCountMin) Estimate(item []byte) uint64 {
-	h1, h2 := hashx.Murmur3_128(item, c.seed)
-	return c.estimateHash2(h1, h2)
+	return c.estimateHash(hashx.XXHash64(item, c.seed))
 }
 
 // EstimateUint64 returns the point-query estimate for an integer item.
 func (c *AtomicCountMin) EstimateUint64(item uint64) uint64 {
-	h := hashx.HashUint64(item, c.seed)
-	return c.estimateHash2(h, hashx.DeriveH2(h))
+	return c.estimateHash(hashx.HashUint64(item, c.seed))
 }
 
-func (c *AtomicCountMin) estimateHash2(h1, h2 uint64) uint64 {
-	h2 |= 1
+func (c *AtomicCountMin) estimateHash(h uint64) uint64 {
+	h2 := hashx.DeriveH2(h)
 	w := uint64(c.width)
 	est := ^uint64(0)
-	x := h1
+	x := h
 	for r := 0; r < c.depth; r++ {
 		if v := c.counts[r*c.width+int(hashx.FastRange(x, w))].Load(); v < est {
 			est = v

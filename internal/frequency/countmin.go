@@ -38,11 +38,11 @@ type CountMin struct {
 }
 
 // NewCountMin creates a width×depth Count-Min sketch. Row positions
-// derive from a single hash of the item by double hashing
-// (j_r = h1 + r·h2 reduced into [0, width)), so an update costs one
-// hash pass plus depth multiply-adds — the hash-once discipline that
-// "An Evaluation of Software Sketches" (Friedman) identifies as the
-// dominant software optimization for this family. NewCountMinKWise
+// derive from a single 64-bit hash h of the item by double hashing
+// (j_r = h + r·DeriveH2(h) reduced into [0, width)), so an update costs
+// one hash pass plus depth multiply-adds — the hash-once discipline
+// that "An Evaluation of Software Sketches" (Friedman) identifies as
+// the dominant software optimization for this family. NewCountMinKWise
 // keeps the provably pairwise-independent per-row polynomials.
 func NewCountMin(width, depth int, seed uint64) *CountMin {
 	if width < 1 || depth < 1 {
@@ -100,48 +100,38 @@ func (c *CountMin) SetConservative(on bool) {
 	c.conservative = on
 }
 
-// Add increments the count of item by weight: one 128-bit hash pass,
-// all row positions derived from it.
+// Add increments the count of item by weight: one hash pass, all row
+// positions derived from it. Add(item, w) is exactly equivalent to
+// AddHash(hashx.XXHash64(item, seed), w) in both row-hash modes.
 func (c *CountMin) Add(item []byte, weight uint64) {
-	if c.kwise {
-		c.AddHash(hashx.XXHash64(item, c.seed), weight)
-		return
-	}
-	h1, h2 := hashx.Murmur3_128(item, c.seed)
-	c.AddHash2(h1, h2, weight)
+	c.AddHash(hashx.XXHash64(item, c.seed), weight)
 }
 
-// AddUint64 increments an integer item's count by weight.
+// AddUint64 increments an integer item's count by weight. Equivalent to
+// AddHash(hashx.HashUint64(item, seed), weight).
 func (c *CountMin) AddUint64(item, weight uint64) {
-	h := hashx.HashUint64(item, c.seed)
-	if c.kwise {
-		c.AddHash(h, weight)
-		return
-	}
-	c.AddHash2(h, hashx.DeriveH2(h), weight)
+	c.AddHash(hashx.HashUint64(item, c.seed), weight)
 }
 
 // AddString increments a string item's count by one without copying or
-// allocating.
+// allocating. Equivalent to Add on the string's bytes.
 func (c *CountMin) AddString(item string) {
-	if c.kwise {
-		c.AddHash(hashx.XXHash64String(item, c.seed), 1)
-		return
-	}
-	h1, h2 := hashx.Murmur3_128String(item, c.seed)
-	c.AddHash2(h1, h2, 1)
+	c.AddHash(hashx.XXHash64String(item, c.seed), 1)
 }
 
 // Update implements core.Updater (weight 1).
 func (c *CountMin) Update(item []byte) { c.Add(item, 1) }
 
-// AddHash folds a pre-hashed item into the sketch. In derived mode the
-// second double-hashing stream is expanded from h via hashx.DeriveH2,
-// so feeding the same h here and to estimateHash-based queries stays
-// position-consistent.
+// AddHash folds a pre-hashed item into the sketch. Every entry point —
+// Add, AddUint64, AddString and the estimate paths — routes through the
+// same h, so pipelines that pre-hash with hashx.XXHash64 (or
+// hashx.HashUint64 for integers) can freely mix AddHash writes with
+// Estimate(item) reads. In derived mode the second double-hashing
+// stream expands from h via hashx.DeriveH2; in KWise mode the row
+// polynomials are evaluated on h directly.
 func (c *CountMin) AddHash(h, weight uint64) {
 	if !c.kwise {
-		c.AddHash2(h, hashx.DeriveH2(h), weight)
+		c.addHashDerived(h, weight)
 		return
 	}
 	if c.conservative {
@@ -161,21 +151,16 @@ func (c *CountMin) AddHash(h, weight uint64) {
 	c.n += weight
 }
 
-// AddHash2 is the derived-mode fast lane: row r touches bucket
-// FastRange(h1 + r·h2, width), so the whole update is depth
-// multiply-adds on top of one hash. In KWise mode h2 is ignored and the
-// update routes through the row polynomials on h1.
-func (c *CountMin) AddHash2(h1, h2, weight uint64) {
-	if c.kwise {
-		c.AddHash(h1, weight)
-		return
-	}
-	h2 |= 1
+// addHashDerived is the derived-mode fast lane: row r touches bucket
+// FastRange(h + r·DeriveH2(h), width), so the whole update is depth
+// multiply-adds on top of one hash.
+func (c *CountMin) addHashDerived(h, weight uint64) {
+	h2 := hashx.DeriveH2(h)
 	w := uint64(c.width)
 	if c.conservative {
-		est := c.estimateHash2(h1, h2)
+		est := c.estimateDerived(h)
 		target := est + weight
-		x := h1
+		x := h
 		for r := range c.counts {
 			j := hashx.FastRange(x, w)
 			if c.counts[r][j] < target {
@@ -184,7 +169,7 @@ func (c *CountMin) AddHash2(h1, h2, weight uint64) {
 			x += h2
 		}
 	} else {
-		x := h1
+		x := h
 		for r := range c.counts {
 			c.counts[r][hashx.FastRange(x, w)] += weight
 			x += h2
@@ -202,37 +187,26 @@ func (c *CountMin) AddHashBatch(hs []uint64) {
 }
 
 // Estimate returns the point-query estimate for item: an overestimate
-// of the true count by at most ε‖f‖₁ with probability 1−δ.
+// of the true count by at most ε‖f‖₁ with probability 1−δ. It probes
+// exactly the buckets Add touched for the same item.
 func (c *CountMin) Estimate(item []byte) uint64 {
-	if c.kwise {
-		return c.estimateHash(hashx.XXHash64(item, c.seed))
-	}
-	h1, h2 := hashx.Murmur3_128(item, c.seed)
-	return c.estimateHash2(h1, h2)
+	return c.estimateHash(hashx.XXHash64(item, c.seed))
 }
 
 // EstimateUint64 returns the point-query estimate for an integer item.
 func (c *CountMin) EstimateUint64(item uint64) uint64 {
-	h := hashx.HashUint64(item, c.seed)
-	if c.kwise {
-		return c.estimateHash(h)
-	}
-	return c.estimateHash2(h, hashx.DeriveH2(h))
+	return c.estimateHash(hashx.HashUint64(item, c.seed))
 }
 
 // EstimateString returns the point-query estimate for a string item
 // without copying or allocating.
 func (c *CountMin) EstimateString(item string) uint64 {
-	if c.kwise {
-		return c.estimateHash(hashx.XXHash64String(item, c.seed))
-	}
-	h1, h2 := hashx.Murmur3_128String(item, c.seed)
-	return c.estimateHash2(h1, h2)
+	return c.estimateHash(hashx.XXHash64String(item, c.seed))
 }
 
 func (c *CountMin) estimateHash(h uint64) uint64 {
 	if !c.kwise {
-		return c.estimateHash2(h, hashx.DeriveH2(h))
+		return c.estimateDerived(h)
 	}
 	est := uint64(math.MaxUint64)
 	for r, row := range c.rows {
@@ -243,11 +217,11 @@ func (c *CountMin) estimateHash(h uint64) uint64 {
 	return est
 }
 
-func (c *CountMin) estimateHash2(h1, h2 uint64) uint64 {
-	h2 |= 1
+func (c *CountMin) estimateDerived(h uint64) uint64 {
+	h2 := hashx.DeriveH2(h)
 	w := uint64(c.width)
 	est := uint64(math.MaxUint64)
-	x := h1
+	x := h
 	for r := range c.counts {
 		if v := c.counts[r][hashx.FastRange(x, w)]; v < est {
 			est = v
@@ -265,8 +239,8 @@ func (c *CountMin) EstimatePerRow(item []byte) (counts []uint64, buckets []int) 
 	depth := len(c.counts)
 	counts = make([]uint64, depth)
 	buckets = make([]int, depth)
+	h := hashx.XXHash64(item, c.seed)
 	if c.kwise {
-		h := hashx.XXHash64(item, c.seed)
 		for r, row := range c.rows {
 			j := row.HashRange(h, c.width)
 			buckets[r] = j
@@ -274,14 +248,13 @@ func (c *CountMin) EstimatePerRow(item []byte) (counts []uint64, buckets []int) 
 		}
 		return counts, buckets
 	}
-	h1, h2 := hashx.Murmur3_128(item, c.seed)
-	h2 |= 1
+	h2 := hashx.DeriveH2(h)
 	w := uint64(c.width)
 	for r := range c.counts {
-		j := int(hashx.FastRange(h1, w))
+		j := int(hashx.FastRange(h, w))
 		buckets[r] = j
 		counts[r] = c.counts[r][j]
-		h1 += h2
+		h += h2
 	}
 	return counts, buckets
 }

@@ -28,16 +28,22 @@ type CountSketch struct {
 
 // NewCountSketch creates a width×depth Count Sketch. Depth should be
 // odd so the median is unambiguous; even depths are raised by one.
-// Row buckets and signs derive from a single 128-bit hash of the item
-// (double hashing for buckets, bits of a remixed h2 for signs);
-// NewCountSketchKWise keeps the per-row polynomial hashes the formal
-// analysis assumes.
+// Row buckets and signs derive from a single 64-bit hash of the item
+// (double hashing for buckets, bits of a remixed second stream for
+// signs); NewCountSketchKWise keeps the per-row polynomial hashes the
+// formal analysis assumes. Depth is capped at 63 (after the odd
+// rounding): derived-mode signs come from one 64-bit word, one bit per
+// row, and deeper sketches would silently reuse sign bits across rows.
+// Real configurations use depth = O(log 1/δ) ≲ 30.
 func NewCountSketch(width, depth int, seed uint64) *CountSketch {
 	if width < 1 || depth < 1 {
 		panic("frequency: CountSketch dimensions must be positive")
 	}
 	if depth%2 == 0 {
 		depth++
+	}
+	if depth > 63 {
+		panic("frequency: CountSketch depth must be <= 63 (derived signs draw one bit per row from a 64-bit word)")
 	}
 	counts := make([][]int64, depth)
 	for i := range counts {
@@ -71,47 +77,35 @@ func newCountSketchRows(seed uint64, depth int) (bucket, sign []*hashx.KWise) {
 }
 
 // Add adds weight (may be negative: turnstile streams are supported) to
-// the count of item: one 128-bit hash pass, all row buckets and signs
-// derived from it.
+// the count of item: one hash pass, all row buckets and signs derived
+// from it. Add(item, w) is exactly equivalent to
+// AddHash(hashx.XXHash64(item, seed), w) in both row-hash modes.
 func (c *CountSketch) Add(item []byte, weight int64) {
-	if c.kwise {
-		c.AddHash(hashx.XXHash64(item, c.seed), weight)
-		return
-	}
-	h1, h2 := hashx.Murmur3_128(item, c.seed)
-	c.AddHash2(h1, h2, weight)
+	c.AddHash(hashx.XXHash64(item, c.seed), weight)
 }
 
-// AddUint64 adds weight to an integer item's count.
+// AddUint64 adds weight to an integer item's count. Equivalent to
+// AddHash(hashx.HashUint64(item, seed), weight).
 func (c *CountSketch) AddUint64(item uint64, weight int64) {
-	h := hashx.HashUint64(item, c.seed)
-	if c.kwise {
-		c.AddHash(h, weight)
-		return
-	}
-	c.AddHash2(h, hashx.DeriveH2(h), weight)
+	c.AddHash(hashx.HashUint64(item, c.seed), weight)
 }
 
 // AddString adds weight to a string item's count without copying or
-// allocating.
+// allocating. Equivalent to Add on the string's bytes.
 func (c *CountSketch) AddString(item string, weight int64) {
-	if c.kwise {
-		c.AddHash(hashx.XXHash64String(item, c.seed), weight)
-		return
-	}
-	h1, h2 := hashx.Murmur3_128String(item, c.seed)
-	c.AddHash2(h1, h2, weight)
+	c.AddHash(hashx.XXHash64String(item, c.seed), weight)
 }
 
 // Update implements core.Updater (weight 1).
 func (c *CountSketch) Update(item []byte) { c.Add(item, 1) }
 
-// AddHash folds a pre-hashed item into the sketch. In derived mode the
-// second stream expands from h via hashx.DeriveH2, matching
-// EstimateUint64's derivation.
+// AddHash folds a pre-hashed item into the sketch. Every entry point —
+// Add, AddUint64, AddString and the estimate paths — routes through the
+// same h, so pipelines that pre-hash with hashx.XXHash64 (or
+// hashx.HashUint64) can mix AddHash writes with Estimate(item) reads.
 func (c *CountSketch) AddHash(h uint64, weight int64) {
 	if !c.kwise {
-		c.AddHash2(h, hashx.DeriveH2(h), weight)
+		c.addHashDerived(h, weight)
 		return
 	}
 	for r := range c.counts {
@@ -121,25 +115,22 @@ func (c *CountSketch) AddHash(h uint64, weight int64) {
 	c.countWeight(weight)
 }
 
-// AddHash2 is the derived-mode fast lane: row r's bucket is
-// FastRange(h1 + r·h2, width) and its sign is bit r of a remixed h2
-// (remixed so the forced-odd stride bit never biases a sign). In KWise
-// mode h2 is ignored and the update routes through the row polynomials.
-func (c *CountSketch) AddHash2(h1, h2 uint64, weight int64) {
-	if c.kwise {
-		c.AddHash(h1, weight)
-		return
-	}
+// addHashDerived is the derived-mode fast lane: row r's bucket is
+// FastRange(h + r·h2, width) with h2 = DeriveH2(h), and its sign is
+// bit r of Mix64(h2) (remixed so the forced-odd stride bit never
+// biases a sign). Depth ≤ 63 is enforced at construction, so each row
+// reads a distinct sign bit.
+func (c *CountSketch) addHashDerived(h uint64, weight int64) {
+	h2 := hashx.DeriveH2(h)
 	signBits := hashx.Mix64(h2)
-	h2 |= 1
 	w := uint64(c.width)
-	x := h1
+	x := h
 	for r := range c.counts {
 		j := hashx.FastRange(x, w)
 		// Branchless ±weight: a random sign branch would mispredict
 		// half the time, one stall per row. m is 0 (keep) or -1
 		// (negate via two's complement identity (v^m)-m).
-		m := -int64(signBits >> (uint(r) & 63) & 1)
+		m := -int64(signBits >> uint(r) & 1)
 		c.counts[r][j] += (weight ^ m) - m
 		x += h2
 	}
@@ -158,23 +149,18 @@ func (c *CountSketch) countWeight(weight int64) {
 // of sign-corrected counters). Unlike Count-Min it can under- as well
 // as overestimate.
 func (c *CountSketch) Estimate(item []byte) int64 {
-	if c.kwise {
-		return c.estimateHash(hashx.XXHash64(item, c.seed))
-	}
-	h1, h2 := hashx.Murmur3_128(item, c.seed)
-	return c.estimateHash2(h1, h2)
+	return c.estimateHash(hashx.XXHash64(item, c.seed))
 }
 
 // EstimateUint64 returns the point-query estimate for an integer item.
 func (c *CountSketch) EstimateUint64(item uint64) int64 {
-	h := hashx.HashUint64(item, c.seed)
-	if c.kwise {
-		return c.estimateHash(h)
-	}
-	return c.estimateHash2(h, hashx.DeriveH2(h))
+	return c.estimateHash(hashx.HashUint64(item, c.seed))
 }
 
 func (c *CountSketch) estimateHash(h uint64) int64 {
+	if !c.kwise {
+		return c.estimateDerived(h)
+	}
 	ests := make([]int64, len(c.counts))
 	for r := range c.counts {
 		j := c.bucket[r].HashRange(h, c.width)
@@ -183,15 +169,15 @@ func (c *CountSketch) estimateHash(h uint64) int64 {
 	return int64(core.MedianInt64(ests))
 }
 
-func (c *CountSketch) estimateHash2(h1, h2 uint64) int64 {
+func (c *CountSketch) estimateDerived(h uint64) int64 {
 	ests := make([]int64, len(c.counts))
+	h2 := hashx.DeriveH2(h)
 	signBits := hashx.Mix64(h2)
-	h2 |= 1
 	w := uint64(c.width)
-	x := h1
+	x := h
 	for r := range c.counts {
 		v := c.counts[r][hashx.FastRange(x, w)]
-		m := -int64(signBits >> (uint(r) & 63) & 1)
+		m := -int64(signBits >> uint(r) & 1)
 		ests[r] = (v ^ m) - m
 		x += h2
 	}
@@ -287,7 +273,10 @@ func (c *CountSketch) UnmarshalBinary(data []byte) error {
 	if r.Err() != nil {
 		return r.Err()
 	}
-	if width < 1 || depth < 1 || depth > 65 {
+	// KWise payloads (including all version-1 ones) may carry up to the
+	// historical depth 65; derived payloads are capped at 63 so every
+	// row reads a distinct bit of the single 64-bit sign word.
+	if width < 1 || depth < 1 || depth > 65 || (!kwise && depth > 63) {
 		return fmt.Errorf("%w: count-sketch dims %dx%d", core.ErrCorrupt, width, depth)
 	}
 	counts := make([][]int64, depth)

@@ -194,6 +194,94 @@ func TestCountSketchDerivedAccuracy(t *testing.T) {
 	}
 }
 
+// The pre-hashed contract: Add(item, w) == AddHash(XXHash64(item, seed), w)
+// in BOTH row-hash modes, so pipelines that pre-hash items may freely mix
+// AddHash writes with Estimate(item) reads. A reviewer caught derived mode
+// breaking this (Add hashed with Murmur3_128 while AddHash derived from h),
+// which silently routed pre-hashed writes to different buckets.
+func TestCountMinAddHashMatchesAdd(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *CountMin
+	}{
+		{"derived", func() *CountMin { return NewCountMin(1024, 5, 21) }},
+		{"kwise", func() *CountMin { return NewCountMinKWise(1024, 5, 21) }},
+	} {
+		viaItem, viaHash := tc.mk(), tc.mk()
+		for i := 0; i < 2000; i++ {
+			item := []byte(fmt.Sprintf("prehash-equiv-%06d", i))
+			viaItem.Add(item, 3)
+			viaHash.AddHash(hashx.XXHash64(item, viaHash.Seed()), 3)
+		}
+		a, _ := viaItem.MarshalBinary()
+		b, _ := viaHash.MarshalBinary()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: AddHash(XXHash64(item)) state differs from Add(item)", tc.name)
+		}
+		probe := []byte("prehash-equiv-000042")
+		if got, want := viaHash.Estimate(probe), viaItem.Estimate(probe); got != want {
+			t.Fatalf("%s: Estimate after AddHash writes = %d, want %d", tc.name, got, want)
+		}
+	}
+}
+
+func TestCountSketchAddHashMatchesAdd(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *CountSketch
+	}{
+		{"derived", func() *CountSketch { return NewCountSketch(1024, 5, 23) }},
+		{"kwise", func() *CountSketch { return NewCountSketchKWise(1024, 5, 23) }},
+	} {
+		viaItem, viaHash := tc.mk(), tc.mk()
+		for i := 0; i < 2000; i++ {
+			item := []byte(fmt.Sprintf("cs-prehash-%06d", i))
+			viaItem.Add(item, 2)
+			viaHash.AddHash(hashx.XXHash64(item, 23), 2)
+		}
+		a, _ := viaItem.MarshalBinary()
+		b, _ := viaHash.MarshalBinary()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: AddHash(XXHash64(item)) state differs from Add(item)", tc.name)
+		}
+		if got, want := viaHash.Estimate([]byte("cs-prehash-000042")), viaItem.Estimate([]byte("cs-prehash-000042")); got != want {
+			t.Fatalf("%s: Estimate after AddHash writes = %d, want %d", tc.name, got, want)
+		}
+	}
+}
+
+// Derived-mode signs draw one bit per row from a single 64-bit word, so
+// the constructor must refuse depths that would wrap and correlate rows.
+func TestCountSketchDepthCap(t *testing.T) {
+	if got := NewCountSketch(16, 63, 1).Depth(); got != 63 {
+		t.Fatalf("depth 63 accepted as %d", got)
+	}
+	for _, depth := range []int{64, 65, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCountSketch(depth=%d) did not panic", depth)
+				}
+			}()
+			NewCountSketch(16, depth, 1)
+		}()
+	}
+	// A hand-built derived-mode envelope past the cap must be rejected.
+	w := core.NewWriter(core.TagCountSketch, 2)
+	w.U32(4)  // width
+	w.U32(65) // depth: legal for kwise payloads, not for derived
+	w.U64(1)  // seed
+	w.U64(0)  // n
+	w.U8(0)   // mode byte: derived
+	for i := 0; i < 65; i++ {
+		w.I64Slice(make([]int64, 4))
+	}
+	var back CountSketch
+	if err := back.UnmarshalBinary(w.Bytes()); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("derived depth-65 payload: err = %v, want ErrCorrupt", err)
+	}
+}
+
 func TestCountSketchStringMatchesBytes(t *testing.T) {
 	viaBytes := NewCountSketch(512, 5, 3)
 	viaString := NewCountSketch(512, 5, 3)

@@ -171,7 +171,8 @@ func NewCountMinWithSpec(spec Spec, seed uint64) (*CountMin, error) {
 	return frequency.NewCountMinWithSpec(spec, seed)
 }
 
-// NewCountSketch creates a width×depth Count Sketch.
+// NewCountSketch creates a width×depth Count Sketch (depth ≤ 63; even
+// depths are raised by one so the median is unambiguous).
 func NewCountSketch(width, depth int, seed uint64) *CountSketch {
 	return frequency.NewCountSketch(width, depth, seed)
 }
