@@ -9,24 +9,34 @@
 //	sketchcli quantiles [-q .5,.9,.99]      # numeric quantiles (KLL)
 //	sketchcli membership -query item [...]  # Bloom filter membership
 //	sketchcli f2                            # second frequency moment (AMS)
+//	sketchcli inspect file.bin              # identify + summarize any envelope
+//	sketchcli merge -o out.bin a.bin b.bin  # merge same-type envelopes
+//	sketchcli types                         # list every registered family
+//
+// inspect, merge, and types are fully registry-driven: they work for
+// every sketch family without naming a single one, because each GSK1
+// envelope self-describes its type through the wire tag.
 //
 // Examples:
 //
 //	cat access.log | awk '{print $1}' | sketchcli distinct
 //	cat words.txt | sketchcli topk -k 10
 //	cat latencies.txt | sketchcli quantiles -q 0.5,0.99
+//	curl -s sketchd:7600/v1/sketch/users/snapshot | sketchcli inspect /dev/stdin
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	sketch "repro"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -49,6 +59,12 @@ func main() {
 		err = runF2(args)
 	case "reach":
 		err = runReach(args)
+	case "inspect":
+		err = runInspect(args)
+	case "merge":
+		err = runMerge(args)
+	case "types":
+		err = runTypes(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -60,13 +76,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sketchcli <distinct|topk|quantiles|membership|f2> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sketchcli <distinct|topk|quantiles|membership|f2|reach|inspect|merge|types> [flags]
   distinct   [-p precision]     estimate distinct lines with HyperLogLog
   topk       [-k counters]      heavy hitters with SpaceSaving
   quantiles  [-q q1,q2,...]     numeric quantiles with KLL
   membership -query item [...]  Bloom-filter membership of query items
   f2                            second frequency moment with AMS
-  reach      [-p precision]     per-group distinct counts from "group,id" lines`)
+  reach      [-p precision]     per-group distinct counts from "group,id" lines
+  inspect    <file>             identify and summarize any serialized sketch
+  merge      -o out a b [...]   merge same-type serialized sketches
+  types                         list every registered sketch family`)
 }
 
 func scanLines(fn func(line string)) error {
@@ -220,6 +239,122 @@ func runReach(args []string) error {
 	fmt.Printf("%-30s %.0f (union of all groups)\n", "TOTAL", total.Estimate())
 	if badLines > 0 {
 		fmt.Fprintf(os.Stderr, "(skipped %d malformed lines)\n", badLines)
+	}
+	return nil
+}
+
+// runInspect decodes any serialized sketch through the registry and
+// prints its identity plus the family's parameter-free summary query —
+// the same document sketchd serves on /query with no parameters.
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sketchcli inspect <file>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	inst, d, err := registry.Decode(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("type:     %s (%s)\n", d.Name, d.Family)
+	fmt.Printf("doc:      %s\n", d.Doc)
+	fmt.Printf("tag:      %d\n", d.Tag)
+	fmt.Printf("envelope: %d bytes\n", len(data))
+	fmt.Printf("memory:   %d bytes\n", registry.SizeOf(inst))
+	if d.Bind.Query == nil {
+		return nil
+	}
+	doc, err := d.Bind.Query(inst, url.Values{})
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-9s %v\n", k+":", doc[k])
+	}
+	return nil
+}
+
+// runMerge folds any number of same-type envelopes into one, writing
+// the merged envelope to -o (or stdout with "-"). Distributed
+// aggregation from the command line: each input self-describes, the
+// registry supplies the merge, incompatible inputs fail loudly.
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "-", `output file ("-" for stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("usage: sketchcli merge -o out.bin a.bin b.bin [...]")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	dst, d, err := registry.Decode(data)
+	if err != nil {
+		return fmt.Errorf("%s: %v", fs.Arg(0), err)
+	}
+	if d.Bind.Merge == nil {
+		return fmt.Errorf("%s sketches do not merge", d.Name)
+	}
+	for _, path := range fs.Args()[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		src, sd, err := registry.Decode(data)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if sd != d {
+			return fmt.Errorf("%s: is a %s, cannot merge into %s", path, sd.Name, d.Name)
+		}
+		if err := d.Bind.Merge(dst, src); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	}
+	env, err := registry.Marshal(dst)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		_, err = os.Stdout.Write(env)
+		return err
+	}
+	return os.WriteFile(*out, env, 0o644)
+}
+
+// runTypes prints the registry catalog: every family, its wire tag,
+// capabilities, and parameter schema.
+func runTypes(args []string) error {
+	fs := flag.NewFlagSet("types", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, d := range registry.All() {
+		caps := make([]string, 0, 2)
+		if d.Mergeable() {
+			caps = append(caps, "merge")
+		}
+		if d.Servable() {
+			caps = append(caps, "serve")
+		}
+		fmt.Printf("%-18s tag %2d  %-12s [%s]  %s\n", d.Name, d.Tag, d.Family, strings.Join(caps, ","), d.Doc)
+		for _, p := range d.Params {
+			fmt.Printf("    -%-10s default %-8g [%g,%g]  %s\n", p.Name, p.Def, p.Min, p.Max, p.Doc)
+		}
 	}
 	return nil
 }

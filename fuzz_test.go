@@ -7,6 +7,7 @@ package sketch_test
 // `go test -fuzz=FuzzX` explores further.
 
 import (
+	"encoding"
 	"testing"
 
 	sketch "repro"
@@ -317,6 +318,61 @@ func FuzzReservoirUnmarshal(f *testing.F) {
 		if err := g.UnmarshalBinary(in); err == nil {
 			g.AddString("post")
 			_ = g.Sample()
+		}
+	})
+}
+
+// FuzzGenericDecode hammers the registry's self-describing decode path
+// with one valid payload per registered family in the seed corpus:
+// arbitrary bytes must decode-or-error, never panic, and any payload
+// that does decode must serialize again.
+func FuzzGenericDecode(f *testing.F) {
+	// Families whose default shape serializes to hundreds of KB get a
+	// deliberately small seed shape — mutation throughput over payloads
+	// that size is too low to explore anything.
+	small := map[string]map[string]float64{
+		"bloom":         {"m": 1024, "k": 4},
+		"countingbloom": {"m": 1024},
+		"graphsketch":   {"vertices": 16, "rounds": 4},
+		"countsketch":   {"width": 64, "depth": 3},
+		"countmin":      {"width": 64, "depth": 4},
+		"ams":           {"groups": 3, "per_group": 16},
+	}
+	for _, ti := range sketch.Types() {
+		inst, err := sketch.New(ti.Name, 1, small[ti.Name])
+		if err != nil {
+			f.Fatalf("New(%q): %v", ti.Name, err)
+		}
+		m, ok := inst.(encoding.BinaryMarshaler)
+		if !ok {
+			f.Fatalf("%q does not marshal", ti.Name)
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			f.Fatalf("%q marshal: %v", ti.Name, err)
+		}
+		f.Add(data)
+		// One tag-preserving mutation per family, to get the fuzzer past
+		// the envelope header into family-specific decoders.
+		if len(data) > 8 {
+			mut := append([]byte(nil), data...)
+			mut[len(mut)/2] ^= 0x55
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("GSK1"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		inst, name, err := sketch.DecodeInfo(in)
+		if err != nil {
+			return
+		}
+		m, ok := inst.(encoding.BinaryMarshaler)
+		if !ok {
+			t.Fatalf("decoded %q does not marshal", name)
+		}
+		if _, err := m.MarshalBinary(); err != nil {
+			t.Fatalf("decoded %q fails to re-marshal: %v", name, err)
 		}
 	})
 }

@@ -48,6 +48,26 @@ const (
 	TagL0SamplerFull
 )
 
+// TagMax is the highest assigned sketch-type tag. The registry's
+// exhaustiveness test walks [1, TagMax] and requires every tag to be
+// either registered with a descriptor or explicitly reserved, so a new
+// tag constant cannot be added without also deciding how it decodes.
+const TagMax = TagL0SamplerFull
+
+// PeekTag returns the sketch-type tag of a serialized envelope without
+// decoding the payload — the dispatch point for generic, self-
+// describing decoding (registry.Decode): any GSK1 payload names its own
+// type in byte 4.
+func PeekTag(data []byte) (byte, error) {
+	if len(data) < 6 {
+		return 0, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(data[:4]) != wireMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	return data[4], nil
+}
+
 // Writer accumulates a sketch serialization.
 type Writer struct {
 	buf []byte

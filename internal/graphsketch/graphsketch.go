@@ -239,3 +239,66 @@ func (s *Sketch) SpanningForest() [][2]int {
 	}
 	return forest
 }
+
+// Rounds returns the number of independent Borůvka rounds kept.
+func (s *Sketch) Rounds() int { return s.rounds }
+
+// MarshalBinary serializes the graph sketch: the shape and seed, then
+// each vertex sampler's own envelope (rounds-major) as a nested
+// length-prefixed payload.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	w := core.NewWriter(core.TagGraphSketch, 1)
+	w.U32(uint32(s.n))
+	w.U32(uint32(s.rounds))
+	w.U64(s.seed)
+	for _, round := range s.samplers {
+		for _, sampler := range round {
+			payload, err := sampler.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			w.BytesField(payload)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a graph sketch serialized by MarshalBinary.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	rd, _, err := core.NewReaderVersioned(data, core.TagGraphSketch, 1)
+	if err != nil {
+		return err
+	}
+	n := int(rd.U32())
+	rounds := int(rd.U32())
+	seed := rd.U64()
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	// Each sampler payload is at least a 4-byte length prefix, so the
+	// product bound below also keeps the decode loop proportional to
+	// the input size on corrupt counts.
+	if n < 1 || rounds < 1 || n > 1<<20 || rounds > 64 || n*rounds > (len(data)+3)/4 {
+		return fmt.Errorf("%w: graphsketch n=%d rounds=%d", core.ErrCorrupt, n, rounds)
+	}
+	samplers := make([][]*sample.L0Sampler, rounds)
+	for r := range samplers {
+		samplers[r] = make([]*sample.L0Sampler, n)
+		for v := range samplers[r] {
+			payload := rd.BytesField()
+			if rd.Err() != nil {
+				return rd.Err()
+			}
+			sampler := new(sample.L0Sampler)
+			if err := sampler.UnmarshalBinary(payload); err != nil {
+				return err
+			}
+			samplers[r][v] = sampler
+		}
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	s.n, s.rounds, s.samplers, s.seed = n, rounds, samplers, seed
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/core"
 	"repro/internal/randx"
 )
 
@@ -130,4 +131,41 @@ func (e *EuclideanLSH) CollisionProbability(c float64) float64 {
 // gaussCDFNeg returns P[Z < -r] for standard normal Z.
 func gaussCDFNeg(r float64) float64 {
 	return 0.5 * math.Erfc(r/math.Sqrt2)
+}
+
+// D returns the input dimensionality.
+func (s *SimHash) D() int { return s.d }
+
+// MarshalBinary serializes the SimHash. The hyperplanes are a pure
+// function of (d, bits, seed) — NewSimHash draws them from a seeded
+// RNG — so the payload is just the shape and the decoder regenerates
+// identical planes.
+func (s *SimHash) MarshalBinary() ([]byte, error) {
+	w := core.NewWriter(core.TagSimHash, 1)
+	w.U32(uint32(s.d))
+	w.U32(uint32(len(s.planes)))
+	w.U64(s.seed)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a SimHash serialized by MarshalBinary,
+// regenerating the hyperplanes from the stored seed. Shapes large
+// enough to make that regeneration a memory hazard are rejected as
+// corrupt.
+func (s *SimHash) UnmarshalBinary(data []byte) error {
+	rd, _, err := core.NewReaderVersioned(data, core.TagSimHash, 1)
+	if err != nil {
+		return err
+	}
+	d := int(rd.U32())
+	bitsN := int(rd.U32())
+	seed := rd.U64()
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if d < 1 || bitsN < 1 || bitsN > 64 || d*bitsN > 1<<18 {
+		return fmt.Errorf("%w: simhash d=%d bits=%d", core.ErrCorrupt, d, bitsN)
+	}
+	*s = *NewSimHash(d, bitsN, seed)
+	return nil
 }

@@ -152,6 +152,14 @@ func (s *QDigest) nodeRange(id uint64) (uint64, uint64) {
 // N returns the total inserted weight.
 func (s *QDigest) N() uint64 { return s.n }
 
+// LogU returns the domain exponent: values must lie in [0, 2^LogU).
+// Callers feeding untrusted input check this before Add, which panics
+// on out-of-domain values.
+func (s *QDigest) LogU() uint8 { return s.logU }
+
+// K returns the compression factor.
+func (s *QDigest) K() uint64 { return s.k }
+
 // NodeCount returns the number of stored tree nodes — the E6 space
 // figure.
 func (s *QDigest) NodeCount() int { return len(s.nodes) }

@@ -1,0 +1,196 @@
+package registry
+
+import (
+	"fmt"
+	"net/url"
+	"runtime"
+
+	"repro/internal/cardinality"
+	"repro/internal/concurrent"
+	"repro/internal/core"
+)
+
+func init() {
+	register(Descriptor{
+		Tag:    core.TagHLL,
+		Name:   "hll",
+		Family: "cardinality",
+		Doc:    "HyperLogLog distinct counter (2^p six-bit registers)",
+		Input:  InputItems,
+		Params: []Param{
+			{Name: "p", Doc: "precision: 2^p registers", Def: 14, Min: 4, Max: 18},
+			{Name: "shards", Doc: "serving-mode write shards (0 = GOMAXPROCS)", Def: 0, Min: 0, Max: 256},
+		},
+		New: func(p Params) (any, error) {
+			return cardinality.NewHLL(p.Uint8("p"), p.Seed), nil
+		},
+		NewServing: func(p Params) (any, error) {
+			shards := p.Int("shards")
+			if shards == 0 {
+				shards = runtime.GOMAXPROCS(0)
+			}
+			return concurrent.NewShardedHLL(shards, p.Uint8("p"), p.Seed), nil
+		},
+		Decode: decode1[cardinality.HLL](),
+		Bind: Bindings{
+			Ingest: itemsIngest((*cardinality.HLL).Add),
+			Query: query1(func(h *cardinality.HLL, _ url.Values) (map[string]any, error) {
+				return map[string]any{
+					"estimate": h.Estimate(),
+					"p":        h.P(),
+					"std_err":  h.StandardError(),
+				}, nil
+			}),
+			Merge: merge2((*cardinality.HLL).Merge),
+		},
+		Serve: &Bindings{
+			Ingest: func(inst any, items [][]byte) error {
+				s, err := cast[*concurrent.ShardedHLL](inst)
+				if err != nil {
+					return err
+				}
+				s.Handle().AddBatch(items)
+				return nil
+			},
+			Query: query1(func(s *concurrent.ShardedHLL, _ url.Values) (map[string]any, error) {
+				return map[string]any{"estimate": s.Estimate(), "p": s.P()}, nil
+			}),
+			Merge: merge2((*concurrent.ShardedHLL).Merge),
+		},
+	})
+
+	register(Descriptor{
+		Tag:    core.TagHLLPP,
+		Name:   "hllpp",
+		Family: "cardinality",
+		Doc:    "HyperLogLog++ (sparse mode + bias-corrected dense mode)",
+		Input:  InputItems,
+		Params: []Param{
+			{Name: "p", Doc: "precision: 2^p registers when dense", Def: 14, Min: 4, Max: 18},
+		},
+		New: func(p Params) (any, error) {
+			return cardinality.NewHLLPP(p.Uint8("p"), p.Seed), nil
+		},
+		Decode: decode1[cardinality.HLLPP](),
+		Bind: Bindings{
+			Ingest: itemsIngest((*cardinality.HLLPP).Add),
+			Query: query1(func(h *cardinality.HLLPP, _ url.Values) (map[string]any, error) {
+				return map[string]any{
+					"estimate": h.Estimate(),
+					"p":        h.P(),
+					"sparse":   h.IsSparse(),
+				}, nil
+			}),
+			Merge: merge2((*cardinality.HLLPP).Merge),
+		},
+	})
+
+	register(Descriptor{
+		Tag:    core.TagLogLog,
+		Name:   "loglog",
+		Family: "cardinality",
+		Doc:    "Durand–Flajolet LogLog distinct counter",
+		Input:  InputItems,
+		Params: []Param{
+			{Name: "p", Doc: "precision: 2^p registers", Def: 12, Min: 4, Max: 16},
+		},
+		New: func(p Params) (any, error) {
+			return cardinality.NewLogLog(p.Uint8("p"), p.Seed), nil
+		},
+		Decode: decode1[cardinality.LogLog](),
+		Bind: Bindings{
+			Ingest: itemsIngest((*cardinality.LogLog).Add),
+			Query: query1(func(l *cardinality.LogLog, _ url.Values) (map[string]any, error) {
+				return map[string]any{
+					"estimate": l.Estimate(),
+					"m":        l.M(),
+					"std_err":  l.StandardError(),
+				}, nil
+			}),
+			Merge: merge2((*cardinality.LogLog).Merge),
+		},
+	})
+
+	register(Descriptor{
+		Tag:    core.TagFM,
+		Name:   "fm",
+		Family: "cardinality",
+		Doc:    "Flajolet–Martin distinct counter (m first-zero bitmaps)",
+		Input:  InputItems,
+		Params: []Param{
+			{Name: "m", Doc: "bitmap count (power of two)", Def: 64, Min: 2, Max: 65536},
+		},
+		New: func(p Params) (any, error) {
+			m := p.Int("m")
+			if m&(m-1) != 0 {
+				return nil, fmt.Errorf("%w: fm m=%d must be a power of two", ErrParams, m)
+			}
+			return cardinality.NewFM(m, p.Seed), nil
+		},
+		Decode: decode1[cardinality.FM](),
+		Bind: Bindings{
+			Ingest: itemsIngest((*cardinality.FM).Add),
+			Query: query1(func(f *cardinality.FM, _ url.Values) (map[string]any, error) {
+				return map[string]any{
+					"estimate": f.Estimate(),
+					"m":        f.M(),
+					"std_err":  f.StandardError(),
+				}, nil
+			}),
+			Merge: merge2((*cardinality.FM).Merge),
+		},
+	})
+
+	register(Descriptor{
+		Tag:    core.TagKMV,
+		Name:   "kmv",
+		Family: "cardinality",
+		Doc:    "k-minimum-values distinct counter (bottom-k hash sample)",
+		Input:  InputItems,
+		Params: []Param{
+			{Name: "k", Doc: "retained minimum hashes", Def: 1024, Min: 3, Max: 1 << 24},
+		},
+		New: func(p Params) (any, error) {
+			return cardinality.NewKMV(p.Int("k"), p.Seed), nil
+		},
+		Decode: decode1[cardinality.KMV](),
+		Bind: Bindings{
+			Ingest: itemsIngest((*cardinality.KMV).Add),
+			Query: query1(func(s *cardinality.KMV, _ url.Values) (map[string]any, error) {
+				return map[string]any{
+					"estimate": s.Estimate(),
+					"k":        s.K(),
+					"std_err":  s.StandardError(),
+				}, nil
+			}),
+			Merge: merge2((*cardinality.KMV).Merge),
+		},
+	})
+
+	register(Descriptor{
+		Tag:    core.TagTheta,
+		Name:   "theta",
+		Family: "cardinality",
+		Doc:    "theta sketch (bottom-k with set operations)",
+		Input:  InputItems,
+		Params: []Param{
+			{Name: "k", Doc: "nominal retained entries", Def: 4096, Min: 16, Max: 1 << 24},
+		},
+		New: func(p Params) (any, error) {
+			return cardinality.NewTheta(p.Int("k"), p.Seed), nil
+		},
+		Decode: decode1[cardinality.Theta](),
+		Bind: Bindings{
+			Ingest: itemsIngest((*cardinality.Theta).Add),
+			Query: query1(func(t *cardinality.Theta, _ url.Values) (map[string]any, error) {
+				return map[string]any{
+					"estimate":   t.Estimate(),
+					"retained":   t.Retained(),
+					"k":          t.K(),
+					"estimating": t.IsEstimationMode(),
+				}, nil
+			}),
+			Merge: merge2((*cardinality.Theta).Merge),
+		},
+	})
+}

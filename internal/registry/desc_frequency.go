@@ -1,0 +1,182 @@
+package registry
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"repro/internal/concurrent"
+	"repro/internal/core"
+	"repro/internal/frequency"
+)
+
+// topEntries renders a heavy-hitter table's entries, capped by the
+// optional ?k= query parameter (default 32).
+func topEntries(params url.Values, entries []frequency.Entry) ([]map[string]any, error) {
+	limit := 32
+	if ks := params.Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("%w: k %q must be a positive integer", ErrParams, ks)
+		}
+		limit = v
+	}
+	if len(entries) > limit {
+		entries = entries[:limit]
+	}
+	out := make([]map[string]any, len(entries))
+	for i, e := range entries {
+		out[i] = map[string]any{"item": e.Item, "count": e.Count}
+	}
+	return out, nil
+}
+
+func init() {
+	register(Descriptor{
+		Tag:    core.TagCountMin,
+		Name:   "countmin",
+		Family: "frequency",
+		Doc:    "Count-Min sketch (biased-up point frequency estimates)",
+		Input:  InputWeightedItems,
+		Params: []Param{
+			{Name: "width", Doc: "counters per row", Def: 2048, Min: 1, Max: 1 << 24},
+			{Name: "depth", Doc: "hash rows", Def: 4, Min: 1, Max: 64},
+		},
+		New: func(p Params) (any, error) {
+			width, depth := p.Int("width"), p.Int("depth")
+			if width*depth > 1<<26 {
+				return nil, fmt.Errorf("%w: countmin shape %dx%d", ErrParams, width, depth)
+			}
+			return frequency.NewCountMin(width, depth, p.Seed), nil
+		},
+		NewServing: func(p Params) (any, error) {
+			width, depth := p.Int("width"), p.Int("depth")
+			if width*depth > 1<<26 {
+				return nil, fmt.Errorf("%w: countmin shape %dx%d", ErrParams, width, depth)
+			}
+			return concurrent.NewAtomicCountMin(width, depth, p.Seed), nil
+		},
+		Decode: decode1[frequency.CountMin](),
+		Bind: Bindings{
+			Ingest: weightedIngest((*frequency.CountMin).Add),
+			Query: query1(func(c *frequency.CountMin, params url.Values) (map[string]any, error) {
+				if item := params.Get("item"); item != "" {
+					return map[string]any{"estimate": c.Estimate([]byte(item)), "n": c.N()}, nil
+				}
+				return map[string]any{"n": c.N(), "width": c.Width(), "depth": c.Depth()}, nil
+			}),
+			Merge: merge2((*frequency.CountMin).Merge),
+		},
+		Serve: &Bindings{
+			Ingest: weightedIngest((*concurrent.AtomicCountMin).Add),
+			Query: query1(func(c *concurrent.AtomicCountMin, params url.Values) (map[string]any, error) {
+				if item := params.Get("item"); item != "" {
+					return map[string]any{"estimate": c.Estimate([]byte(item)), "n": c.N()}, nil
+				}
+				return map[string]any{"n": c.N(), "width": c.Width(), "depth": c.Depth()}, nil
+			}),
+			Merge: merge2((*concurrent.AtomicCountMin).Merge),
+		},
+	})
+
+	register(Descriptor{
+		Tag:    core.TagCountSketch,
+		Name:   "countsketch",
+		Family: "frequency",
+		Doc:    "Count-Sketch (unbiased signed frequency estimates, F2)",
+		Input:  InputSignedItems,
+		Params: []Param{
+			{Name: "width", Doc: "counters per row", Def: 2048, Min: 1, Max: 1 << 24},
+			{Name: "depth", Doc: "hash rows (odd; even is bumped)", Def: 5, Min: 1, Max: 63},
+		},
+		New: func(p Params) (any, error) {
+			width, depth := p.Int("width"), p.Int("depth")
+			if width*depth > 1<<26 {
+				return nil, fmt.Errorf("%w: countsketch shape %dx%d", ErrParams, width, depth)
+			}
+			return frequency.NewCountSketch(width, depth, p.Seed), nil
+		},
+		Decode: decode1[frequency.CountSketch](),
+		Bind: Bindings{
+			Ingest: signedIngest((*frequency.CountSketch).Add),
+			Query: query1(func(c *frequency.CountSketch, params url.Values) (map[string]any, error) {
+				if item := params.Get("item"); item != "" {
+					return map[string]any{"estimate": c.Estimate([]byte(item)), "n": c.N()}, nil
+				}
+				return map[string]any{
+					"n":     c.N(),
+					"width": c.Width(),
+					"depth": c.Depth(),
+					"f2":    c.F2Estimate(),
+				}, nil
+			}),
+			Merge: merge2((*frequency.CountSketch).Merge),
+		},
+	})
+
+	register(Descriptor{
+		Tag:    core.TagMisraGries,
+		Name:   "misragries",
+		Family: "frequency",
+		Doc:    "Misra–Gries heavy hitters (k counters, deterministic)",
+		Input:  InputWeightedItems,
+		Params: []Param{
+			{Name: "k", Doc: "tracked counters", Def: 64, Min: 1, Max: 1 << 20},
+		},
+		New: func(p Params) (any, error) {
+			return frequency.NewMisraGries(p.Int("k")), nil
+		},
+		Decode: decode1[frequency.MisraGries](),
+		Bind: Bindings{
+			Ingest: stringWeightedIngest((*frequency.MisraGries).Add),
+			Query: query1(func(m *frequency.MisraGries, params url.Values) (map[string]any, error) {
+				if item := params.Get("item"); item != "" {
+					return map[string]any{
+						"estimate":    m.Estimate(item),
+						"error_bound": m.ErrorBound(),
+						"n":           m.N(),
+					}, nil
+				}
+				top, err := topEntries(params, m.Entries())
+				if err != nil {
+					return nil, err
+				}
+				return map[string]any{"n": m.N(), "k": m.K(), "entries": top}, nil
+			}),
+			Merge: merge2((*frequency.MisraGries).Merge),
+		},
+	})
+
+	register(Descriptor{
+		Tag:    core.TagSpaceSaving,
+		Name:   "spacesaving",
+		Family: "frequency",
+		Doc:    "SpaceSaving heavy hitters (k counters with overestimates)",
+		Input:  InputWeightedItems,
+		Params: []Param{
+			{Name: "k", Doc: "tracked counters", Def: 64, Min: 1, Max: 1 << 20},
+		},
+		New: func(p Params) (any, error) {
+			return frequency.NewSpaceSaving(p.Int("k")), nil
+		},
+		Decode: decode1[frequency.SpaceSaving](),
+		Bind: Bindings{
+			Ingest: stringWeightedIngest((*frequency.SpaceSaving).Add),
+			Query: query1(func(s *frequency.SpaceSaving, params url.Values) (map[string]any, error) {
+				if item := params.Get("item"); item != "" {
+					return map[string]any{
+						"estimate":   s.Estimate(item),
+						"guaranteed": s.GuaranteedCount(item),
+						"n":          s.N(),
+					}, nil
+				}
+				top, err := topEntries(params, s.Entries())
+				if err != nil {
+					return nil, err
+				}
+				return map[string]any{"n": s.N(), "k": s.K(), "entries": top}, nil
+			}),
+			Merge: merge2((*frequency.SpaceSaving).Merge),
+		},
+	})
+}

@@ -1,0 +1,302 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// The ingest builders below turn one typed per-item update function
+// into a batch Ingest binding with a uniform contract: parse and
+// validate every line first, then apply — so a bad line rejects the
+// whole batch with ErrInput and no partial state. Parsing is
+// allocation-free for the integer formats (the hot server paths);
+// re-running the parser in the apply loop is a few ns per line,
+// cheaper than materializing a parsed-values slice.
+
+// errBadWeight is the shared parse failure; callers wrap it with the
+// offending bytes.
+var errBadWeight = errors.New("expect decimal uint64")
+
+// errBadSigned is the signed-integer parse failure.
+var errBadSigned = errors.New("expect decimal int64")
+
+// LastTab returns the index of the last tab in b, or -1. Ingest
+// formats put the optional weight after the last tab so items may
+// themselves contain tabs.
+func LastTab(b []byte) int {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == '\t' {
+			return i
+		}
+	}
+	return -1
+}
+
+// ParseWeight decodes a decimal uint64 from b without allocating — the
+// strconv.ParseUint(string(b), …) it replaces copied every weight
+// suffix onto the heap once per ingested line.
+func ParseWeight(b []byte) (uint64, error) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, errBadWeight
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, errBadWeight
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, errBadWeight
+		}
+		v = v*10 + d
+	}
+	return v, nil
+}
+
+// parseSigned decodes a decimal int64 with an optional leading sign,
+// allocation-free like ParseWeight.
+func parseSigned(b []byte) (int64, error) {
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	u, err := ParseWeight(b)
+	if err != nil {
+		return 0, errBadSigned
+	}
+	if neg {
+		if u > 1<<63 {
+			return 0, errBadSigned
+		}
+		return -int64(u), nil
+	}
+	if u > 1<<63-1 {
+		return 0, errBadSigned
+	}
+	return int64(u), nil
+}
+
+// itemsIngest: InputItems. The add function must not retain the item
+// slice (or must copy, as the sample types do).
+func itemsIngest[T any](add func(T, []byte)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		for _, item := range items {
+			add(c, item)
+		}
+		return nil
+	}
+}
+
+// weightedIngest: InputWeightedItems.
+func weightedIngest[T any](add func(T, []byte, uint64)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		for _, item := range items {
+			if tab := LastTab(item); tab >= 0 {
+				if _, err := ParseWeight(item[tab+1:]); err != nil {
+					return fmt.Errorf("%w: weight %q: %v", ErrInput, item[tab+1:], err)
+				}
+			}
+		}
+		for _, item := range items {
+			weight := uint64(1)
+			if tab := LastTab(item); tab >= 0 {
+				weight, _ = ParseWeight(item[tab+1:])
+				item = item[:tab]
+			}
+			add(c, item, weight)
+		}
+		return nil
+	}
+}
+
+// stringWeightedIngest: InputWeightedItems for string-keyed sketches
+// (Misra-Gries, SpaceSaving). The string conversion copies, which
+// doubles as the no-retention guarantee.
+func stringWeightedIngest[T any](add func(T, string, uint64)) func(any, [][]byte) error {
+	return weightedIngest[T](func(c T, item []byte, weight uint64) {
+		add(c, string(item), weight)
+	})
+}
+
+// signedIngest: InputSignedItems.
+func signedIngest[T any](add func(T, []byte, int64)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		for _, item := range items {
+			if tab := LastTab(item); tab >= 0 {
+				if _, err := parseSigned(item[tab+1:]); err != nil {
+					return fmt.Errorf("%w: weight %q: %v", ErrInput, item[tab+1:], err)
+				}
+			}
+		}
+		for _, item := range items {
+			weight := int64(1)
+			if tab := LastTab(item); tab >= 0 {
+				weight, _ = parseSigned(item[tab+1:])
+				item = item[:tab]
+			}
+			add(c, item, weight)
+		}
+		return nil
+	}
+}
+
+// floatIngest: InputFloats. Values are parsed into a batch slice
+// before the first update.
+func floatIngest[T any](add func(T, float64)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		vals := make([]float64, len(items))
+		for i, item := range items {
+			v, err := strconv.ParseFloat(string(item), 64)
+			if err != nil {
+				return fmt.Errorf("%w: value %q: %v", ErrInput, item, err)
+			}
+			vals[i] = v
+		}
+		for _, v := range vals {
+			add(c, v)
+		}
+		return nil
+	}
+}
+
+// uintValuesIngest: InputUintValues. check rejects values outside the
+// instance's domain before any update (q-digest panics past 2^logU).
+func uintValuesIngest[T any](check func(T, uint64) error, add func(T, uint64, uint64)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		parse := func(item []byte) (uint64, uint64, error) {
+			weight := uint64(1)
+			if tab := LastTab(item); tab >= 0 {
+				w, err := ParseWeight(item[tab+1:])
+				if err != nil {
+					return 0, 0, fmt.Errorf("%w: weight %q: %v", ErrInput, item[tab+1:], err)
+				}
+				weight = w
+				item = item[:tab]
+			}
+			v, err := ParseWeight(item)
+			if err != nil {
+				return 0, 0, fmt.Errorf("%w: value %q: %v", ErrInput, item, err)
+			}
+			return v, weight, nil
+		}
+		for _, item := range items {
+			v, _, err := parse(item)
+			if err != nil {
+				return err
+			}
+			if check != nil {
+				if err := check(c, v); err != nil {
+					return fmt.Errorf("%w: %v", ErrInput, err)
+				}
+			}
+		}
+		for _, item := range items {
+			v, w, _ := parse(item)
+			add(c, v, w)
+		}
+		return nil
+	}
+}
+
+// turnstileIngest: InputTurnstile.
+func turnstileIngest[T any](update func(T, uint64, int64)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		parse := func(item []byte) (uint64, int64, error) {
+			delta := int64(1)
+			if tab := LastTab(item); tab >= 0 {
+				d, err := parseSigned(item[tab+1:])
+				if err != nil {
+					return 0, 0, fmt.Errorf("%w: delta %q: %v", ErrInput, item[tab+1:], err)
+				}
+				delta = d
+				item = item[:tab]
+			}
+			idx, err := ParseWeight(item)
+			if err != nil {
+				return 0, 0, fmt.Errorf("%w: index %q: %v", ErrInput, item, err)
+			}
+			return idx, delta, nil
+		}
+		for _, item := range items {
+			if _, _, err := parse(item); err != nil {
+				return err
+			}
+		}
+		for _, item := range items {
+			idx, delta, _ := parse(item)
+			update(c, idx, delta)
+		}
+		return nil
+	}
+}
+
+// eventsIngest: InputEvents — each line is one occurrence.
+func eventsIngest[T any](incN func(T, uint64)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		incN(c, uint64(len(items)))
+		return nil
+	}
+}
+
+// weightedFloatIngest: InputWeightedFloatItems (weighted reservoir;
+// its Add panics on weight <= 0, so the batch pass rejects those).
+func weightedFloatIngest[T any](add func(T, []byte, float64)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		parse := func(item []byte) ([]byte, float64, error) {
+			weight := 1.0
+			if tab := LastTab(item); tab >= 0 {
+				w, err := strconv.ParseFloat(string(item[tab+1:]), 64)
+				if err != nil || !(w > 0) {
+					return nil, 0, fmt.Errorf("%w: weight %q: expect float64 > 0", ErrInput, item[tab+1:])
+				}
+				weight = w
+				item = item[:tab]
+			}
+			return item, weight, nil
+		}
+		for _, item := range items {
+			if _, _, err := parse(item); err != nil {
+				return err
+			}
+		}
+		for _, item := range items {
+			it, w, _ := parse(item)
+			add(c, it, w)
+		}
+		return nil
+	}
+}

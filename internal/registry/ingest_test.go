@@ -1,0 +1,84 @@
+package registry
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestParseWeight(t *testing.T) {
+	good := map[string]uint64{
+		"0":                    0,
+		"1":                    1,
+		"42":                   42,
+		"18446744073709551615": ^uint64(0),
+	}
+	for in, want := range good {
+		got, err := ParseWeight([]byte(in))
+		if err != nil || got != want {
+			t.Errorf("ParseWeight(%q) = %d, %v; want %d, nil", in, got, err, want)
+		}
+	}
+	bad := []string{
+		"", "-1", "+1", " 1", "1 ", "1.5", "0x10", "abc",
+		"18446744073709551616",  // max uint64 + 1
+		"99999999999999999999",  // 20 digits, overflows
+		"184467440737095516150", // 21 digits
+	}
+	for _, in := range bad {
+		if got, err := ParseWeight([]byte(in)); err == nil {
+			t.Errorf("ParseWeight(%q) = %d, nil; want error", in, got)
+		}
+	}
+	// Cross-check against strconv over a spread of values.
+	for _, v := range []uint64{0, 7, 1 << 20, 1 << 40, ^uint64(0) - 1} {
+		s := strconv.FormatUint(v, 10)
+		got, err := ParseWeight([]byte(s))
+		if err != nil || got != v {
+			t.Errorf("ParseWeight(%q) = %d, %v; want %d, nil", s, got, err, v)
+		}
+	}
+}
+
+func TestParseSigned(t *testing.T) {
+	good := map[string]int64{
+		"0":                    0,
+		"5":                    5,
+		"+5":                   5,
+		"-5":                   -5,
+		"9223372036854775807":  1<<63 - 1,
+		"-9223372036854775808": -1 << 63,
+	}
+	for in, want := range good {
+		got, err := parseSigned([]byte(in))
+		if err != nil || got != want {
+			t.Errorf("parseSigned(%q) = %d, %v; want %d, nil", in, got, err, want)
+		}
+	}
+	bad := []string{
+		"", "-", "+", "--1", " 1", "1.5", "abc",
+		"9223372036854775808",  // int64 max + 1
+		"-9223372036854775809", // int64 min - 1
+	}
+	for _, in := range bad {
+		if got, err := parseSigned([]byte(in)); err == nil {
+			t.Errorf("parseSigned(%q) = %d, nil; want error", in, got)
+		}
+	}
+}
+
+func TestLastTab(t *testing.T) {
+	cases := map[string]int{
+		"":            -1,
+		"plain":       -1,
+		"a\tb":        1,
+		"a\tb\tc":     3,
+		"\tleading":   0,
+		"trailing\t":  8,
+		"a\t1\t2\t99": 5,
+	}
+	for in, want := range cases {
+		if got := LastTab([]byte(in)); got != want {
+			t.Errorf("LastTab(%q) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package registry is the self-describing sketch type system: one
+// Descriptor per sketch family binds the family's wire tag, canonical
+// name, parameter schema (defaults and bounds), constructor, decoder,
+// and capability closures (ingest / query / merge) in a single place.
+// Every layer that used to enumerate types by hand — the sketchd entry
+// switch, the facade constructors, the CLI — consults the registry
+// instead, so adding a sketch family to the whole stack is one
+// descriptor, and any serialized GSK1 payload can be decoded without
+// knowing its concrete type up front (Decode reads the envelope tag
+// and dispatches). This is the Mergeable Summaries contract the paper
+// builds on — update, merge, serialize — made explicit as data.
+package registry
+
+import (
+	"encoding"
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ErrUnknownType is returned when a name has no registered descriptor.
+var ErrUnknownType = errors.New("registry: unknown sketch type")
+
+// ErrParams is returned for creation parameters outside a descriptor's
+// schema: unknown names, out-of-bounds values, or non-integral values
+// for integer parameters.
+var ErrParams = errors.New("registry: bad sketch parameters")
+
+// ErrInput is returned by ingest bindings for lines that do not parse
+// under the descriptor's input kind. Ingest validates the whole batch
+// before applying any of it, so an ErrInput means no partial state.
+var ErrInput = errors.New("registry: bad input line")
+
+// InputKind names the line format a descriptor's Ingest binding
+// accepts, one line per item in a newline-delimited batch. It is
+// machine-readable (exposed on GET /v1/types) so clients and tests can
+// generate well-formed input without per-type knowledge.
+type InputKind int
+
+const (
+	// InputNone marks a type with no streaming ingest (not servable).
+	InputNone InputKind = iota
+	// InputItems: each line is one opaque set element.
+	InputItems
+	// InputWeightedItems: "item" or "item\tweight", weight a decimal
+	// uint64 (default 1).
+	InputWeightedItems
+	// InputSignedItems: "item" or "item\tweight", weight a decimal
+	// int64 with optional sign (default 1).
+	InputSignedItems
+	// InputFloats: each line is one float64 value.
+	InputFloats
+	// InputUintValues: "value" or "value\tweight", both decimal uint64
+	// (weight default 1); value must lie in the sketch's domain.
+	InputUintValues
+	// InputTurnstile: "index\tdelta", index a decimal uint64, delta a
+	// signed decimal int64 (default 1) — the turnstile stream model.
+	InputTurnstile
+	// InputEvents: each line is one occurrence of the counted event;
+	// line content is ignored.
+	InputEvents
+	// InputEdges: "u\tv", decimal vertex ids in [0, vertices), u != v.
+	InputEdges
+	// InputWeightedFloatItems: "item" or "item\tweight", weight a
+	// positive float64 (default 1).
+	InputWeightedFloatItems
+)
+
+// String returns the line-format contract, suitable for API docs.
+func (k InputKind) String() string {
+	switch k {
+	case InputItems:
+		return "one item per line"
+	case InputWeightedItems:
+		return "item[\\tweight], weight uint64 (default 1)"
+	case InputSignedItems:
+		return "item[\\tweight], weight int64 (default 1)"
+	case InputFloats:
+		return "one float64 per line"
+	case InputUintValues:
+		return "value[\\tweight], both uint64 (weight default 1)"
+	case InputTurnstile:
+		return "index[\\tdelta], index uint64, delta int64 (default 1)"
+	case InputEvents:
+		return "one event per line (content ignored)"
+	case InputEdges:
+		return "u\\tv, vertex ids in [0,vertices), u != v"
+	case InputWeightedFloatItems:
+		return "item[\\tweight], weight float64 > 0 (default 1)"
+	default:
+		return "no streaming ingest"
+	}
+}
+
+// Param is one entry of a descriptor's parameter schema. All values
+// travel as float64 (the JSON number type); integer parameters set
+// Float=false and reject fractional values. A zero raw value is
+// indistinguishable from "absent" at the transport layer, so schemas
+// are written with Min == 0 wherever 0 must mean "use the default" and
+// constructors re-check semantic bounds.
+type Param struct {
+	Name  string
+	Doc   string
+	Def   float64 // default applied when the parameter is absent
+	Min   float64 // inclusive lower bound for explicit values
+	Max   float64 // inclusive upper bound for explicit values
+	Float bool    // false: value must be integral
+}
+
+// Params is a validated parameter set: every schema parameter is
+// present (explicit or default) and within bounds.
+type Params struct {
+	Seed uint64
+	vals map[string]float64
+}
+
+// Float returns the named parameter.
+func (p Params) Float(name string) float64 { return p.vals[name] }
+
+// Int returns the named parameter as an int.
+func (p Params) Int(name string) int { return int(p.vals[name]) }
+
+// Uint64 returns the named parameter as a uint64.
+func (p Params) Uint64(name string) uint64 { return uint64(p.vals[name]) }
+
+// Uint8 returns the named parameter as a uint8.
+func (p Params) Uint8(name string) uint8 { return uint8(p.vals[name]) }
+
+// Bindings are the capability closures over a concrete sketch type.
+// A nil field means the capability is absent and the corresponding
+// operation is gated off (no merge endpoint for non-mergeable types,
+// no create for types without ingest+query). Closures receive the
+// instance as `any` and cast internally; the generic builders below
+// keep that cast in exactly one place per capability.
+type Bindings struct {
+	// Ingest folds a batch of newline-delimited lines in. It must
+	// validate the whole batch before the first update (no partial
+	// ingest on a bad line) and must not retain the item slices —
+	// they alias a pooled server buffer.
+	Ingest func(inst any, items [][]byte) error
+	// Query answers the type's read operation from URL parameters.
+	// With no parameters it returns a summary (estimate, shape, n —
+	// whatever the family supports), so it doubles as "inspect".
+	Query func(inst any, params url.Values) (map[string]any, error)
+	// Merge folds src (a decoded instance of the same family's plain
+	// type) into dst, returning core.ErrIncompatible on shape or seed
+	// mismatch.
+	Merge func(dst, src any) error
+}
+
+// Descriptor is one sketch family's registration: everything the rest
+// of the stack needs to construct, decode, serve, and document the
+// type, with no per-type code anywhere else.
+type Descriptor struct {
+	Tag    byte
+	Name   string // canonical lowercase name ("hll", "countmin", …)
+	Family string // grouping for docs ("cardinality", "quantile", …)
+	Doc    string // one-line description
+	Input  InputKind
+	Params []Param
+
+	// New constructs a plain single-threaded instance from validated
+	// parameters.
+	New func(p Params) (any, error)
+	// NewServing, when set, constructs the internally synchronized
+	// variant used for live server entries (e.g. the sharded HLL, the
+	// atomic Count-Min); its instances are driven through Serve. Types
+	// without a concurrent wrapper leave it nil and are serialized
+	// behind a per-entry mutex by the caller.
+	NewServing func(p Params) (any, error)
+	// Decode deserializes a MarshalBinary envelope of this family's
+	// plain type.
+	Decode func(data []byte) (any, error)
+
+	// Bind operates on instances from New (and from Decode).
+	Bind Bindings
+	// Serve operates on instances from NewServing; nil means Bind
+	// also serves them.
+	Serve *Bindings
+}
+
+// Mergeable reports whether live instances can absorb decoded peers.
+func (d *Descriptor) Mergeable() bool { return d.Bind.Merge != nil }
+
+// Servable reports whether sketchd can host the type: it needs both a
+// streaming ingest format and a query operation.
+func (d *Descriptor) Servable() bool { return d.Bind.Ingest != nil && d.Bind.Query != nil }
+
+// HasParam reports whether the schema defines the named parameter.
+func (d *Descriptor) HasParam(name string) bool { return d.param(name) != nil }
+
+func (d *Descriptor) param(name string) *Param {
+	for i := range d.Params {
+		if d.Params[i].Name == name {
+			return &d.Params[i]
+		}
+	}
+	return nil
+}
+
+// Validate folds raw parameter values over the schema: absent
+// parameters take their defaults, explicit ones are bounds- and
+// integrality-checked, unknown names are rejected. This is the single
+// parameter-validation point for the server, the facade, and the CLI.
+func (d *Descriptor) Validate(seed uint64, raw map[string]float64) (Params, error) {
+	vals := make(map[string]float64, len(d.Params))
+	for _, p := range d.Params {
+		vals[p.Name] = p.Def
+	}
+	for name, v := range raw {
+		p := d.param(name)
+		if p == nil {
+			return Params{}, fmt.Errorf("%w: %s has no parameter %q", ErrParams, d.Name, name)
+		}
+		if !p.Float && v != math.Trunc(v) {
+			return Params{}, fmt.Errorf("%w: %s %s=%v must be an integer", ErrParams, d.Name, p.Name, v)
+		}
+		if math.IsNaN(v) || v < p.Min || v > p.Max {
+			return Params{}, fmt.Errorf("%w: %s %s=%v out of [%v,%v]",
+				ErrParams, d.Name, p.Name, v, p.Min, p.Max)
+		}
+		vals[name] = v
+	}
+	return Params{Seed: seed, vals: vals}, nil
+}
+
+var (
+	byTag    = map[byte]*Descriptor{}
+	byName   = map[string]*Descriptor{}
+	reserved = map[byte]string{}
+)
+
+// register installs a descriptor at package init. Duplicate tags or
+// names are programming errors and panic immediately.
+func register(d Descriptor) {
+	if d.Tag == 0 || d.Tag > core.TagMax {
+		panic(fmt.Sprintf("registry: %s tag %d outside [1,%d]", d.Name, d.Tag, core.TagMax))
+	}
+	if _, ok := byTag[d.Tag]; ok {
+		panic(fmt.Sprintf("registry: duplicate tag %d (%s)", d.Tag, d.Name))
+	}
+	if _, ok := reserved[d.Tag]; ok {
+		panic(fmt.Sprintf("registry: tag %d (%s) is reserved", d.Tag, d.Name))
+	}
+	if _, ok := byName[d.Name]; ok {
+		panic(fmt.Sprintf("registry: duplicate name %q", d.Name))
+	}
+	if d.New == nil || d.Decode == nil {
+		panic(fmt.Sprintf("registry: %s needs New and Decode", d.Name))
+	}
+	dp := new(Descriptor)
+	*dp = d
+	byTag[d.Tag] = dp
+	byName[d.Name] = dp
+}
+
+// reserve tombstones a wire tag that must never be reassigned but has
+// no live decoder (e.g. a format superseded in place). The
+// exhaustiveness test accepts reserved tags; Decode reports why the
+// payload is undecodable.
+func reserve(tag byte, reason string) {
+	if _, ok := byTag[tag]; ok {
+		panic(fmt.Sprintf("registry: reserving registered tag %d", tag))
+	}
+	reserved[tag] = reason
+}
+
+// Lookup returns the descriptor registered under the canonical name.
+func Lookup(name string) (*Descriptor, bool) {
+	d, ok := byName[name]
+	return d, ok
+}
+
+// LookupTag returns the descriptor registered for a wire tag.
+func LookupTag(tag byte) (*Descriptor, bool) {
+	d, ok := byTag[tag]
+	return d, ok
+}
+
+// ReservedTag reports whether a tag is tombstoned and why.
+func ReservedTag(tag byte) (string, bool) {
+	why, ok := reserved[tag]
+	return why, ok
+}
+
+// All returns every registered descriptor sorted by name.
+func All() []*Descriptor {
+	out := make([]*Descriptor, 0, len(byName))
+	for _, d := range byName {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Decode deserializes any GSK1 envelope by reading its tag and
+// dispatching to the registered decoder — the generic, self-describing
+// decode path. It returns the concrete instance (e.g. *cardinality.HLL)
+// together with its descriptor.
+func Decode(data []byte) (any, *Descriptor, error) {
+	tag, err := core.PeekTag(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, ok := byTag[tag]
+	if !ok {
+		if why, isReserved := reserved[tag]; isReserved {
+			return nil, nil, fmt.Errorf("%w: tag %d is retired (%s)", core.ErrCorrupt, tag, why)
+		}
+		return nil, nil, fmt.Errorf("%w: unknown sketch tag %d", core.ErrCorrupt, tag)
+	}
+	inst, err := d.Decode(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, d, nil
+}
+
+// Marshal serializes any registry-constructed instance through its
+// encoding.BinaryMarshaler implementation.
+func Marshal(inst any) ([]byte, error) {
+	m, ok := inst.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("registry: %T does not serialize", inst)
+	}
+	return m.MarshalBinary()
+}
+
+// SizeOf reports an instance's in-memory footprint: its own SizeBytes
+// accounting when present, otherwise the serialized length as a floor.
+func SizeOf(inst any) int {
+	if s, ok := inst.(interface{ SizeBytes() int }); ok {
+		return s.SizeBytes()
+	}
+	if b, err := Marshal(inst); err == nil {
+		return len(b)
+	}
+	return 0
+}
+
+// cast narrows a stored instance to its concrete type; failure means a
+// descriptor wired closures over the wrong type, which is reported
+// rather than panicking so a server keeps serving.
+func cast[T any](inst any) (T, error) {
+	c, ok := inst.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("registry: instance is %T, want %T", inst, zero)
+	}
+	return c, nil
+}
+
+// decode1 builds a Decode closure from a type's zero-value
+// UnmarshalBinary contract.
+func decode1[T any, PT interface {
+	*T
+	encoding.BinaryUnmarshaler
+}]() func([]byte) (any, error) {
+	return func(data []byte) (any, error) {
+		inst := PT(new(T))
+		if err := inst.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return inst, nil
+	}
+}
+
+// merge2 builds a Merge closure from a typed merge method expression,
+// e.g. merge2((*cardinality.HLL).Merge).
+func merge2[D, S any](fn func(D, S) error) func(dst, src any) error {
+	return func(dst, src any) error {
+		d, err := cast[D](dst)
+		if err != nil {
+			return err
+		}
+		s, err := cast[S](src)
+		if err != nil {
+			return err
+		}
+		return fn(d, s)
+	}
+}
+
+// query1 builds a Query closure from a typed query function.
+func query1[T any](fn func(T, url.Values) (map[string]any, error)) func(any, url.Values) (map[string]any, error) {
+	return func(inst any, params url.Values) (map[string]any, error) {
+		c, err := cast[T](inst)
+		if err != nil {
+			return nil, err
+		}
+		return fn(c, params)
+	}
+}

@@ -233,3 +233,52 @@ func (r *WeightedReservoir) N() uint64 { return r.n }
 
 // K returns the capacity.
 func (r *WeightedReservoir) K() int { return r.k }
+
+// MarshalBinary serializes the weighted reservoir: shape, seed, offer
+// count, then the (key, item) pairs in heap-array order so a decoded
+// instance resumes with an identical heap layout.
+func (r *WeightedReservoir) MarshalBinary() ([]byte, error) {
+	w := core.NewWriter(core.TagWeightedReservoir, 1)
+	w.U32(uint32(r.k))
+	w.U64(r.seed)
+	w.U64(r.n)
+	w.U32(uint32(len(r.keys)))
+	for i, key := range r.keys {
+		w.F64(key)
+		w.BytesField(r.vals[i])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a weighted reservoir serialized by
+// MarshalBinary. The RNG restarts from the stored seed (like the
+// plain reservoir, the sample stays valid; the random stream is not
+// part of the state).
+func (r *WeightedReservoir) UnmarshalBinary(data []byte) error {
+	rd, _, err := core.NewReaderVersioned(data, core.TagWeightedReservoir, 1)
+	if err != nil {
+		return err
+	}
+	k := int(rd.U32())
+	seed := rd.U64()
+	n := rd.U64()
+	cnt := rd.Count(12) // 8-byte key + 4-byte length prefix minimum
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if k < 1 || cnt > k {
+		return fmt.Errorf("%w: weighted reservoir k=%d items=%d", core.ErrCorrupt, k, cnt)
+	}
+	keys := make([]float64, cnt)
+	vals := make([][]byte, cnt)
+	for i := range keys {
+		keys[i] = rd.F64()
+		vals[i] = rd.BytesField()
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	r.k, r.seed, r.n, r.keys, r.vals = k, seed, n, keys, vals
+	r.rng = randx.New(seed ^ 0x575265)
+	return nil
+}

@@ -119,6 +119,18 @@ func (c *Client) Delete(name string) error {
 	return drainStatus(resp)
 }
 
+// Types fetches the server's sketch type catalog (GET /v1/types):
+// every servable family with its parameter schema and ingest format.
+func (c *Client) Types() ([]server.TypeInfo, error) {
+	var out struct {
+		Types []server.TypeInfo `json:"types"`
+	}
+	if err := c.get(c.base+"/v1/types", &out); err != nil {
+		return nil, err
+	}
+	return out.Types, nil
+}
+
 // Statsz fetches the server's operation counters.
 func (c *Client) Statsz() (server.Statsz, error) {
 	var out server.Statsz

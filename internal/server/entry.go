@@ -1,419 +1,196 @@
 package server
 
 import (
+	"encoding"
 	"errors"
 	"fmt"
 	"net/url"
-	"runtime"
-	"strconv"
 	"sync"
 
-	"repro/internal/bloom"
-	"repro/internal/cardinality"
-	"repro/internal/concurrent"
-	"repro/internal/frequency"
-	"repro/internal/quantile"
+	"repro/internal/core"
+	typereg "repro/internal/registry"
 )
 
 // ErrBadParams is returned by NewEntry for unusable creation
 // parameters (unknown type, out-of-range shape).
 var ErrBadParams = errors.New("server: bad sketch parameters")
 
-// Entry is one named sketch behind the registry. Implementations are
-// safe for concurrent use: the hot types (hll, countmin) route through
-// the lock-free/sharded wrappers in internal/concurrent, the rest
-// serialize behind a per-entry mutex. Add must not retain the item
-// slices — they alias a pooled request buffer.
-type Entry interface {
-	// Type returns the create-time type string ("hll", "countmin", …).
-	Type() string
-	// Add folds a batch of newline-delimited items in.
-	Add(items [][]byte) error
-	// Query answers the type's read operation from URL parameters.
-	Query(params url.Values) (map[string]any, error)
-	// Merge absorbs a peer's MarshalBinary envelope.
-	Merge(data []byte) error
-	// Snapshot serializes the current state in the standard envelope.
-	Snapshot() ([]byte, error)
-	// SizeBytes reports the in-memory sketch footprint.
-	SizeBytes() int
-}
+// ErrUnsupported marks an operation the sketch type's descriptor does
+// not bind — merging a non-mergeable family, for instance. The HTTP
+// layer maps it to 405 Method Not Allowed, distinct from malformed
+// requests (400) and incompatible-but-well-formed merges (409).
+var ErrUnsupported = errors.New("server: operation not supported by sketch type")
 
-// CreateRequest is the JSON body of POST /v1/sketch/{name}. Fields not
-// used by the requested type are ignored; zero values select the
-// defaults noted per field.
+// CreateRequest is the JSON body of POST /v1/sketch/{name}. Any
+// servable registry type can be created — GET /v1/types lists them
+// with their parameter schemas. The typed fields cover the common
+// parameters; Params passes any schema parameter by name and wins on
+// overlap. Zero values mean "use the descriptor default" throughout.
 type CreateRequest struct {
-	Type   string  `json:"type"`             // hll | countmin | bloom | kll | theta
+	Type   string  `json:"type"`             // registry name: hll, countmin, kll, theta, minhash, …
 	Seed   uint64  `json:"seed,omitempty"`   // hash seed (default 1)
-	P      uint8   `json:"p,omitempty"`      // hll: precision, default 14
-	Shards int     `json:"shards,omitempty"` // hll: default GOMAXPROCS
-	Width  int     `json:"width,omitempty"`  // countmin: default 2048
-	Depth  int     `json:"depth,omitempty"`  // countmin: default 4
-	M      uint64  `json:"m,omitempty"`      // bloom: bit count (overrides n/fpr sizing)
-	K      int     `json:"k,omitempty"`      // bloom: hashes; kll/theta: capacity
-	NItems uint64  `json:"n,omitempty"`      // bloom: expected items, default 1e6
-	FPR    float64 `json:"fpr,omitempty"`    // bloom: target FPR, default 0.01
+	P      uint8   `json:"p,omitempty"`      // hll/hllpp/loglog precision
+	Shards int     `json:"shards,omitempty"` // hll serving shards (default GOMAXPROCS)
+	Width  int     `json:"width,omitempty"`  // countmin/countsketch row width
+	Depth  int     `json:"depth,omitempty"`  // countmin/countsketch rows
+	M      uint64  `json:"m,omitempty"`      // bloom bits / countingbloom counters / fm bitmaps
+	K      int     `json:"k,omitempty"`      // capacity-style parameter (bloom, kll, theta, kmv, …)
+	NItems uint64  `json:"n,omitempty"`      // bloom expected items
+	FPR    float64 `json:"fpr,omitempty"`    // bloom target false-positive rate
+
+	// Params addresses the full descriptor schema by parameter name
+	// (e.g. {"eps": 0.02} for gk, {"vertices": 512} for graphsketch).
+	// Unknown names are rejected.
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
-// NewEntry builds a registry entry from creation parameters, applying
-// per-type defaults and rejecting shapes that would be unusable or
-// absurdly large.
-func NewEntry(req CreateRequest) (Entry, error) {
+// rawParams folds the typed convenience fields into a schema-keyed
+// parameter map. A typed field only contributes when it is nonzero AND
+// the descriptor's schema has a parameter of that name, so unrelated
+// leftovers in a request (say a bloom "fpr" on a kll create) don't
+// reject it — that matches the old per-type switch, which ignored
+// fields the type didn't use. Explicit Params entries always pass
+// through and get the strict treatment.
+func (req CreateRequest) rawParams(d *typereg.Descriptor) map[string]float64 {
+	raw := make(map[string]float64, len(req.Params)+4)
+	put := func(name string, v float64) {
+		if v != 0 && d.HasParam(name) {
+			raw[name] = v
+		}
+	}
+	put("p", float64(req.P))
+	put("shards", float64(req.Shards))
+	put("width", float64(req.Width))
+	put("depth", float64(req.Depth))
+	put("m", float64(req.M))
+	put("k", float64(req.K))
+	put("n", float64(req.NItems))
+	put("fpr", req.FPR)
+	for name, v := range req.Params {
+		raw[name] = v
+	}
+	return raw
+}
+
+// Entry is one named sketch behind the server namespace: a registry
+// descriptor plus a live instance driven entirely through the
+// descriptor's capability bindings — there is no per-type code from
+// here up through the HTTP handlers. Entries are safe for concurrent
+// use: types with a NewServing constructor (hll, countmin) run
+// internally synchronized instances lock-free; everything else
+// serializes behind the per-entry mutex with per-batch locking. Add
+// must not retain the item slices — they alias a pooled request
+// buffer.
+type Entry struct {
+	desc     *typereg.Descriptor
+	bind     *typereg.Bindings
+	inst     any
+	lockFree bool
+	mu       sync.Mutex
+}
+
+// NewEntry builds a server entry from creation parameters, resolving
+// the type through the registry so defaults, bounds, and construction
+// live in exactly one place.
+func NewEntry(req CreateRequest) (*Entry, error) {
+	d, ok := typereg.Lookup(req.Type)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown sketch type %q", ErrBadParams, req.Type)
+	}
+	if !d.Servable() {
+		return nil, fmt.Errorf("%w: type %q has no streaming ingest", ErrBadParams, req.Type)
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	switch req.Type {
-	case "hll":
-		p := req.P
-		if p == 0 {
-			p = 14
-		}
-		if p < 4 || p > 18 {
-			return nil, fmt.Errorf("%w: hll precision %d out of [4,18]", ErrBadParams, p)
-		}
-		shards := req.Shards
-		if shards == 0 {
-			shards = runtime.GOMAXPROCS(0)
-		}
-		if shards < 1 || shards > 256 {
-			return nil, fmt.Errorf("%w: hll shards %d out of [1,256]", ErrBadParams, shards)
-		}
-		return &hllEntry{hll: concurrent.NewShardedHLL(shards, p, seed)}, nil
-	case "countmin":
-		width, depth := req.Width, req.Depth
-		if width == 0 {
-			width = 2048
-		}
-		if depth == 0 {
-			depth = 4
-		}
-		if width < 1 || depth < 1 || width*depth > 1<<26 {
-			return nil, fmt.Errorf("%w: countmin shape %dx%d", ErrBadParams, width, depth)
-		}
-		return &cmEntry{cm: concurrent.NewAtomicCountMin(width, depth, seed)}, nil
-	case "bloom":
-		if req.M != 0 {
-			if req.M > 1<<33 || req.K < 1 || req.K > 64 {
-				return nil, fmt.Errorf("%w: bloom m=%d k=%d", ErrBadParams, req.M, req.K)
-			}
-			return &bloomEntry{f: bloom.New(req.M, req.K, seed)}, nil
-		}
-		n, fpr := req.NItems, req.FPR
-		if n == 0 {
-			n = 1_000_000
-		}
-		if fpr == 0 {
-			fpr = 0.01
-		}
-		if n > 1<<30 || fpr <= 0 || fpr >= 1 {
-			return nil, fmt.Errorf("%w: bloom n=%d fpr=%v", ErrBadParams, n, fpr)
-		}
-		return &bloomEntry{f: bloom.NewWithEstimates(n, fpr, seed)}, nil
-	case "kll":
-		k := req.K
-		if k == 0 {
-			k = 200
-		}
-		if k < 8 || k > 1<<16 {
-			return nil, fmt.Errorf("%w: kll k=%d out of [8,65536]", ErrBadParams, k)
-		}
-		return &kllEntry{s: quantile.NewKLL(k, seed)}, nil
-	case "theta":
-		k := req.K
-		if k == 0 {
-			k = 4096
-		}
-		if k < 16 || k > 1<<24 {
-			return nil, fmt.Errorf("%w: theta k=%d out of [16,2^24]", ErrBadParams, k)
-		}
-		return &thetaEntry{s: cardinality.NewTheta(k, seed)}, nil
-	default:
-		return nil, fmt.Errorf("%w: unknown sketch type %q", ErrBadParams, req.Type)
+	p, err := d.Validate(seed, req.rawParams(d))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
 	}
+	newFn, bind, lockFree := d.New, &d.Bind, false
+	if d.NewServing != nil {
+		newFn, lockFree = d.NewServing, true
+		if d.Serve != nil {
+			bind = d.Serve
+		}
+	}
+	inst, err := newFn(p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	return &Entry{desc: d, bind: bind, inst: inst, lockFree: lockFree}, nil
 }
 
-// hllEntry: distinct counting on the sharded concurrent HLL. Each
-// batch grabs a striped handle, so concurrent ingest spreads across
-// shards and reads hit the epoch-cached merged view.
-type hllEntry struct {
-	hll *concurrent.ShardedHLL
+// Type returns the registry type name ("hll", "countmin", …).
+func (e *Entry) Type() string { return e.desc.Name }
+
+// Mergeable reports whether the entry accepts peer envelopes.
+func (e *Entry) Mergeable() bool { return e.bind.Merge != nil }
+
+// Add folds a batch of newline-delimited items in.
+func (e *Entry) Add(items [][]byte) error {
+	if e.lockFree {
+		return e.bind.Ingest(e.inst, items)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bind.Ingest(e.inst, items)
 }
 
-func (e *hllEntry) Type() string { return "hll" }
-
-func (e *hllEntry) Add(items [][]byte) error {
-	e.hll.Handle().AddBatch(items)
-	return nil
+// Query answers the type's read operation from URL parameters.
+func (e *Entry) Query(params url.Values) (map[string]any, error) {
+	if e.lockFree {
+		return e.bind.Query(e.inst, params)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bind.Query(e.inst, params)
 }
 
-func (e *hllEntry) Query(url.Values) (map[string]any, error) {
-	return map[string]any{"estimate": e.hll.Estimate()}, nil
-}
-
-func (e *hllEntry) Merge(data []byte) error {
-	var peer cardinality.HLL
-	if err := peer.UnmarshalBinary(data); err != nil {
+// Merge absorbs a peer's MarshalBinary envelope. The payload is
+// self-describing: it decodes through the registry, a cross-type
+// envelope is an incompatibility (409 at the HTTP layer), and a
+// non-mergeable family reports ErrUnsupported (405).
+func (e *Entry) Merge(data []byte) error {
+	if e.bind.Merge == nil {
+		return fmt.Errorf("%w: %s does not merge", ErrUnsupported, e.desc.Name)
+	}
+	src, sdesc, err := typereg.Decode(data)
+	if err != nil {
 		return err
 	}
-	return e.hll.Merge(&peer)
-}
-
-func (e *hllEntry) Snapshot() ([]byte, error) { return e.hll.MarshalBinary() }
-
-func (e *hllEntry) SizeBytes() int { return e.hll.SizeBytes() }
-
-// cmEntry: frequency estimation on the lock-free atomic Count-Min.
-// Lines are "item" (weight 1) or "item\tweight".
-type cmEntry struct {
-	cm *concurrent.AtomicCountMin
-}
-
-func (e *cmEntry) Type() string { return "countmin" }
-
-func (e *cmEntry) Add(items [][]byte) error {
-	// Validate every weight before the first update so a bad line
-	// rejects the batch without a partial ingest. parseWeight is a
-	// no-alloc []byte parser and re-running it in the apply loop is a
-	// few ns per line — cheaper than materializing a weights slice.
-	for _, item := range items {
-		if tab := lastTab(item); tab >= 0 {
-			if _, err := parseWeight(item[tab+1:]); err != nil {
-				return fmt.Errorf("%w: weight %q: %v", ErrBadParams, item[tab+1:], err)
-			}
-		}
+	if sdesc.Tag != e.desc.Tag {
+		return fmt.Errorf("%w: cannot merge a %s payload into %s", core.ErrIncompatible, sdesc.Name, e.desc.Name)
 	}
-	for _, item := range items {
-		weight := uint64(1)
-		if tab := lastTab(item); tab >= 0 {
-			weight, _ = parseWeight(item[tab+1:])
-			item = item[:tab]
-		}
-		e.cm.Add(item, weight)
-	}
-	return nil
-}
-
-func (e *cmEntry) Query(params url.Values) (map[string]any, error) {
-	item := params.Get("item")
-	if item == "" {
-		return nil, fmt.Errorf("%w: countmin query needs ?item=", ErrBadParams)
-	}
-	return map[string]any{
-		"estimate": e.cm.Estimate([]byte(item)),
-		"n":        e.cm.N(),
-	}, nil
-}
-
-func (e *cmEntry) Merge(data []byte) error {
-	var peer frequency.CountMin
-	if err := peer.UnmarshalBinary(data); err != nil {
-		return err
-	}
-	return e.cm.Merge(&peer)
-}
-
-func (e *cmEntry) Snapshot() ([]byte, error) { return e.cm.MarshalBinary() }
-
-func (e *cmEntry) SizeBytes() int { return e.cm.SizeBytes() }
-
-func lastTab(b []byte) int {
-	for i := len(b) - 1; i >= 0; i-- {
-		if b[i] == '\t' {
-			return i
-		}
-	}
-	return -1
-}
-
-// errBadWeight is the shared parse failure; the caller wraps it with
-// the offending bytes.
-var errBadWeight = errors.New("expect decimal uint64")
-
-// parseWeight decodes a decimal uint64 from b without allocating — the
-// strconv.ParseUint(string(b), …) it replaces copied every weight
-// suffix onto the heap once per ingested line.
-func parseWeight(b []byte) (uint64, error) {
-	if len(b) == 0 || len(b) > 20 {
-		return 0, errBadWeight
-	}
-	var v uint64
-	for _, c := range b {
-		if c < '0' || c > '9' {
-			return 0, errBadWeight
-		}
-		d := uint64(c - '0')
-		if v > (^uint64(0)-d)/10 {
-			return 0, errBadWeight
-		}
-		v = v*10 + d
-	}
-	return v, nil
-}
-
-// lockedEntry is the shared shape of the mutex-guarded types: the
-// registry stripe finds the entry without contention, then the entry
-// mutex serializes sketch access per batch, not per item.
-type bloomEntry struct {
-	mu sync.Mutex
-	f  *bloom.Filter
-}
-
-func (e *bloomEntry) Type() string { return "bloom" }
-
-func (e *bloomEntry) Add(items [][]byte) error {
-	e.mu.Lock()
-	e.f.AddBatch(items)
-	e.mu.Unlock()
-	return nil
-}
-
-func (e *bloomEntry) Query(params url.Values) (map[string]any, error) {
-	item := params.Get("item")
-	if item == "" {
-		return nil, fmt.Errorf("%w: bloom query needs ?item=", ErrBadParams)
+	if e.lockFree {
+		return e.bind.Merge(e.inst, src)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return map[string]any{
-		"contains":   e.f.Contains([]byte(item)),
-		"fill_ratio": e.f.FillRatio(),
-	}, nil
+	return e.bind.Merge(e.inst, src)
 }
 
-func (e *bloomEntry) Merge(data []byte) error {
-	var peer bloom.Filter
-	if err := peer.UnmarshalBinary(data); err != nil {
-		return err
+// Snapshot serializes the current state in the standard envelope.
+func (e *Entry) Snapshot() ([]byte, error) {
+	m, ok := e.inst.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s does not serialize", ErrUnsupported, e.desc.Name)
+	}
+	if e.lockFree {
+		return m.MarshalBinary()
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.f.Merge(&peer)
+	return m.MarshalBinary()
 }
 
-func (e *bloomEntry) Snapshot() ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.f.MarshalBinary()
-}
-
-func (e *bloomEntry) SizeBytes() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.f.SizeBytes()
-}
-
-type kllEntry struct {
-	mu sync.Mutex
-	s  *quantile.KLL
-}
-
-func (e *kllEntry) Type() string { return "kll" }
-
-func (e *kllEntry) Add(items [][]byte) error {
-	// Parse the whole batch before taking the lock so a bad line
-	// rejects the batch without a partial ingest.
-	vals := make([]float64, len(items))
-	for i, item := range items {
-		v, err := strconv.ParseFloat(string(item), 64)
-		if err != nil {
-			return fmt.Errorf("%w: kll value %q: %v", ErrBadParams, item, err)
-		}
-		vals[i] = v
-	}
-	e.mu.Lock()
-	for _, v := range vals {
-		e.s.Add(v)
-	}
-	e.mu.Unlock()
-	return nil
-}
-
-func (e *kllEntry) Query(params url.Values) (map[string]any, error) {
-	q := 0.5
-	if qs := params.Get("q"); qs != "" {
-		v, err := strconv.ParseFloat(qs, 64)
-		if err != nil || v < 0 || v > 1 {
-			return nil, fmt.Errorf("%w: quantile %q out of [0,1]", ErrBadParams, qs)
-		}
-		q = v
+// SizeBytes reports the in-memory sketch footprint.
+func (e *Entry) SizeBytes() int {
+	if e.lockFree {
+		return typereg.SizeOf(e.inst)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return map[string]any{
-		"q":        q,
-		"quantile": e.s.Quantile(q),
-		"n":        e.s.N(),
-		"min":      e.s.Min(),
-		"max":      e.s.Max(),
-	}, nil
-}
-
-func (e *kllEntry) Merge(data []byte) error {
-	var peer quantile.KLL
-	if err := peer.UnmarshalBinary(data); err != nil {
-		return err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.s.Merge(&peer)
-}
-
-func (e *kllEntry) Snapshot() ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.s.MarshalBinary()
-}
-
-func (e *kllEntry) SizeBytes() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.s.SizeBytes()
-}
-
-type thetaEntry struct {
-	mu sync.Mutex
-	s  *cardinality.Theta
-}
-
-func (e *thetaEntry) Type() string { return "theta" }
-
-func (e *thetaEntry) Add(items [][]byte) error {
-	e.mu.Lock()
-	for _, item := range items {
-		e.s.Add(item)
-	}
-	e.mu.Unlock()
-	return nil
-}
-
-func (e *thetaEntry) Query(url.Values) (map[string]any, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return map[string]any{
-		"estimate": e.s.Estimate(),
-		"retained": e.s.Retained(),
-	}, nil
-}
-
-func (e *thetaEntry) Merge(data []byte) error {
-	var peer cardinality.Theta
-	if err := peer.UnmarshalBinary(data); err != nil {
-		return err
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.s.Merge(&peer)
-}
-
-func (e *thetaEntry) Snapshot() ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.s.MarshalBinary()
-}
-
-func (e *thetaEntry) SizeBytes() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.s.SizeBytes()
+	return typereg.SizeOf(e.inst)
 }

@@ -1,51 +1,17 @@
 package server
 
-// Internal tests for the allocation-free ingest path: the no-alloc
-// weight parser's accept/reject behavior, cmEntry.Add's
-// validate-then-apply batch semantics, and a regression check that the
-// whole per-batch loop stays at zero heap allocations.
+// Internal tests for the allocation-free ingest path: Entry.Add's
+// validate-then-apply batch semantics, a regression check that the
+// whole per-batch loop stays at zero heap allocations, and the same
+// guard for the registry's name-to-stripe hash.
 
 import (
-	"strconv"
+	"net/url"
 	"strings"
 	"testing"
 )
 
-func TestParseWeight(t *testing.T) {
-	good := map[string]uint64{
-		"0":                    0,
-		"1":                    1,
-		"42":                   42,
-		"18446744073709551615": ^uint64(0),
-	}
-	for in, want := range good {
-		got, err := parseWeight([]byte(in))
-		if err != nil || got != want {
-			t.Errorf("parseWeight(%q) = %d, %v; want %d, nil", in, got, err, want)
-		}
-	}
-	bad := []string{
-		"", "-1", "+1", " 1", "1 ", "1.5", "0x10", "abc",
-		"18446744073709551616",  // max uint64 + 1
-		"99999999999999999999",  // 20 digits, overflows
-		"184467440737095516150", // 21 digits
-	}
-	for _, in := range bad {
-		if got, err := parseWeight([]byte(in)); err == nil {
-			t.Errorf("parseWeight(%q) = %d, nil; want error", in, got)
-		}
-	}
-	// Cross-check against strconv over a spread of values.
-	for _, v := range []uint64{0, 7, 1 << 20, 1 << 40, ^uint64(0) - 1} {
-		s := strconv.FormatUint(v, 10)
-		got, err := parseWeight([]byte(s))
-		if err != nil || got != v {
-			t.Errorf("parseWeight(%q) = %d, %v; want %d, nil", s, got, err, v)
-		}
-	}
-}
-
-func TestCMEntryAddRejectsBatchAtomically(t *testing.T) {
+func TestEntryAddRejectsBatchAtomically(t *testing.T) {
 	entry, err := NewEntry(CreateRequest{Type: "countmin"})
 	if err != nil {
 		t.Fatal(err)
@@ -56,22 +22,33 @@ func TestCMEntryAddRejectsBatchAtomically(t *testing.T) {
 	if err := entry.Add(batch); err == nil {
 		t.Fatal("Add with malformed weight: want error, got nil")
 	}
-	cm := entry.(*cmEntry).cm
-	if n := cm.N(); n != 0 {
-		t.Fatalf("after rejected batch, N() = %d, want 0 (no partial ingest)", n)
+	summary, err := entry.Query(url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := summary["n"].(uint64); n != 0 {
+		t.Fatalf("after rejected batch, n = %d, want 0 (no partial ingest)", n)
 	}
 	if err := entry.Add([][]byte{[]byte("alpha\t5"), []byte("alpha"), []byte("gamma\t2")}); err != nil {
 		t.Fatal(err)
 	}
-	if got := cm.Estimate([]byte("alpha")); got != 6 {
+	estimate := func(item string) uint64 {
+		t.Helper()
+		q, err := entry.Query(url.Values{"item": {item}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q["estimate"].(uint64)
+	}
+	if got := estimate("alpha"); got != 6 {
 		t.Errorf("Estimate(alpha) = %d, want 6 (5 weighted + 1 unweighted)", got)
 	}
-	if got := cm.Estimate([]byte("gamma")); got != 2 {
+	if got := estimate("gamma"); got != 2 {
 		t.Errorf("Estimate(gamma) = %d, want 2", got)
 	}
 }
 
-func TestCMEntryAddZeroAlloc(t *testing.T) {
+func TestEntryAddZeroAlloc(t *testing.T) {
 	entry, err := NewEntry(CreateRequest{Type: "countmin"})
 	if err != nil {
 		t.Fatal(err)
@@ -85,5 +62,20 @@ func TestCMEntryAddZeroAlloc(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Errorf("split+Add batch: %v allocs per batch, want 0", n)
+	}
+}
+
+func TestStripeForZeroAlloc(t *testing.T) {
+	r := newRegistry()
+	names := []string{"a", "clickstream-uniques", strings.Repeat("x", 300)}
+	for _, name := range names {
+		name := name
+		if n := testing.AllocsPerRun(100, func() {
+			if r.stripeFor(name) == nil {
+				t.Fatal("nil stripe")
+			}
+		}); n != 0 {
+			t.Errorf("stripeFor(%q): %v allocs per lookup, want 0", name, n)
+		}
 	}
 }

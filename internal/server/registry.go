@@ -36,7 +36,7 @@ type registryStripe struct {
 // ingest counter (surfaced on /debug/statsz).
 type namedEntry struct {
 	name  string
-	entry Entry
+	entry *Entry
 	adds  core.Counter
 }
 
@@ -49,7 +49,9 @@ func newRegistry() *registry {
 }
 
 func (r *registry) stripeFor(name string) *registryStripe {
-	return &r.stripes[hashx.XXHash64([]byte(name), 0)%registryStripes]
+	// XXHash64String hashes the string bytes in place; the []byte(name)
+	// conversion it replaces heap-copied the name on every lookup.
+	return &r.stripes[hashx.XXHash64String(name, 0)%registryStripes]
 }
 
 // get returns the named entry or ErrNotFound.
@@ -65,7 +67,7 @@ func (r *registry) get(name string) (*namedEntry, error) {
 }
 
 // create installs a new entry, failing if the name is taken.
-func (r *registry) create(name string, entry Entry) error {
+func (r *registry) create(name string, entry *Entry) error {
 	s := r.stripeFor(name)
 	s.mu.Lock()
 	defer s.mu.Unlock()

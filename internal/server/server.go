@@ -18,7 +18,15 @@
 //	GET    /v1/sketch/{name}/snapshot  serialize out (octet-stream)
 //	DELETE /v1/sketch/{name}           drop the sketch
 //	GET    /v1/sketch                  list sketches
+//	GET    /v1/types                   servable types + parameter schemas
 //	GET    /debug/statsz               operation counters and per-sketch bytes
+//
+// Every sketch family is described by a registry descriptor
+// (internal/registry); the handlers and Entry are fully generic over
+// descriptors, so the supported-type set is exactly the registry's
+// servable set and capability gaps surface as precise statuses: 405
+// for merge on a non-mergeable family, 409 for incompatible merges,
+// 400 for malformed input.
 package server
 
 import (
@@ -31,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	typereg "repro/internal/registry"
 )
 
 // maxBodyBytes bounds any request body; a batch or envelope larger
@@ -70,6 +79,7 @@ func New() *Server {
 	s.mux.HandleFunc("GET /v1/sketch/{name}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("DELETE /v1/sketch/{name}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/sketch", s.handleList)
+	s.mux.HandleFunc("GET /v1/types", s.handleTypes)
 	s.mux.HandleFunc("GET /debug/statsz", s.handleStatsz)
 	return s
 }
@@ -191,11 +201,15 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	if err := e.entry.Merge(body); err != nil {
-		// Incompatible shapes are a semantic conflict; corrupt bytes
-		// are a malformed request.
+		// Incompatible shapes are a semantic conflict; a non-mergeable
+		// family is a capability gap; corrupt bytes are a malformed
+		// request.
 		status := http.StatusBadRequest
-		if errors.Is(err, core.ErrIncompatible) {
+		switch {
+		case errors.Is(err, core.ErrIncompatible):
 			status = http.StatusConflict
+		case errors.Is(err, ErrUnsupported):
+			status = http.StatusMethodNotAllowed
 		}
 		httpError(w, status, "%v", err)
 		return
@@ -236,6 +250,50 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, map[string]any{"name": e.name, "type": e.entry.Type()})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sketches": out})
+}
+
+// TypeParam is one parameter row of a /v1/types schema.
+type TypeParam struct {
+	Name    string  `json:"name"`
+	Doc     string  `json:"doc"`
+	Default float64 `json:"default"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Float   bool    `json:"float,omitempty"`
+}
+
+// TypeInfo is one servable sketch family on /v1/types.
+type TypeInfo struct {
+	Name      string      `json:"name"`
+	Family    string      `json:"family"`
+	Doc       string      `json:"doc"`
+	Tag       byte        `json:"tag"`
+	Input     string      `json:"input"`
+	Mergeable bool        `json:"mergeable"`
+	Params    []TypeParam `json:"params"`
+}
+
+func (s *Server) handleTypes(w http.ResponseWriter, _ *http.Request) {
+	var out []TypeInfo
+	for _, d := range typereg.All() {
+		if !d.Servable() {
+			continue
+		}
+		params := make([]TypeParam, len(d.Params))
+		for i, p := range d.Params {
+			params[i] = TypeParam{Name: p.Name, Doc: p.Doc, Default: p.Def, Min: p.Min, Max: p.Max, Float: p.Float}
+		}
+		out = append(out, TypeInfo{
+			Name:      d.Name,
+			Family:    d.Family,
+			Doc:       d.Doc,
+			Tag:       d.Tag,
+			Input:     d.Input.String(),
+			Mergeable: d.Mergeable(),
+			Params:    params,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"types": out})
 }
 
 // SketchStat is one sketch's row on /debug/statsz.

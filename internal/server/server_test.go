@@ -238,7 +238,9 @@ func TestHTTPErrors(t *testing.T) {
 	if code := post("/v1/sketch/dup/merge", "GSK1 garbage"); code != http.StatusBadRequest {
 		t.Errorf("corrupt merge: %d", code)
 	}
-	// Cross-type merge (theta envelope into an hll sketch): 400.
+	// Cross-type merge (theta envelope into an hll sketch): the payload
+	// is well-formed and self-describing, so it's an incompatibility
+	// conflict (409), not a malformed request.
 	th := cardinality.NewTheta(64, 1)
 	th.AddString("x")
 	env, _ := th.MarshalBinary()
@@ -247,8 +249,8 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("cross-type merge: %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("cross-type merge: %d, want 409", resp.StatusCode)
 	}
 	// Delete then 404.
 	if err := cl.Delete("dup"); err != nil {

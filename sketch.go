@@ -26,6 +26,8 @@
 package sketch
 
 import (
+	"fmt"
+
 	"repro/internal/ams"
 	"repro/internal/bloom"
 	"repro/internal/cardinality"
@@ -41,6 +43,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/privacy"
 	"repro/internal/quantile"
+	"repro/internal/registry"
 	"repro/internal/robust"
 	"repro/internal/sample"
 	"repro/internal/server"
@@ -462,7 +465,96 @@ func NewServerClient(base string) *ServerClient { return client.New(base) }
 
 // NewServerEntry builds a server registry entry from creation
 // parameters (exposed for embedding sketchd-style registries).
-func NewServerEntry(req ServerCreateRequest) (ServerEntry, error) { return server.NewEntry(req) }
+func NewServerEntry(req ServerCreateRequest) (*ServerEntry, error) { return server.NewEntry(req) }
+
+// The self-describing type system: every sketch family registers a
+// descriptor (wire tag, name, parameter schema, constructor, decoder)
+// in internal/registry, and these entry points make any family
+// constructible by name and any serialized envelope decodable without
+// knowing its concrete type.
+
+// TypeParam is one parameter of a sketch type's schema.
+type TypeParam struct {
+	Name    string
+	Doc     string
+	Default float64
+	Min     float64
+	Max     float64
+	Float   bool // false: integer-valued
+}
+
+// TypeInfo describes one registered sketch family.
+type TypeInfo struct {
+	Name      string // canonical name accepted by New ("hll", "kll", …)
+	Family    string // grouping ("cardinality", "quantile", …)
+	Doc       string
+	Tag       byte   // GSK1 envelope tag
+	Input     string // streaming ingest line format ("" if none)
+	Mergeable bool
+	Servable  bool // creatable in sketchd
+	Params    []TypeParam
+}
+
+// Types lists every registered sketch family sorted by name.
+func Types() []TypeInfo {
+	ds := registry.All()
+	out := make([]TypeInfo, len(ds))
+	for i, d := range ds {
+		params := make([]TypeParam, len(d.Params))
+		for j, p := range d.Params {
+			params[j] = TypeParam{Name: p.Name, Doc: p.Doc, Default: p.Def, Min: p.Min, Max: p.Max, Float: p.Float}
+		}
+		input := ""
+		if d.Input != 0 {
+			input = d.Input.String()
+		}
+		out[i] = TypeInfo{
+			Name:      d.Name,
+			Family:    d.Family,
+			Doc:       d.Doc,
+			Tag:       d.Tag,
+			Input:     input,
+			Mergeable: d.Mergeable(),
+			Servable:  d.Servable(),
+			Params:    params,
+		}
+	}
+	return out
+}
+
+// New constructs a sketch by registry name with named parameters
+// (absent entries take the descriptor defaults — see Types). The
+// result is the family's concrete type, e.g. *HLL for "hll"; callers
+// typically use it through Updater / Merge / MarshalBinary.
+func New(typeName string, seed uint64, params map[string]float64) (any, error) {
+	d, ok := registry.Lookup(typeName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", registry.ErrUnknownType, typeName)
+	}
+	p, err := d.Validate(seed, params)
+	if err != nil {
+		return nil, err
+	}
+	return d.New(p)
+}
+
+// Decode deserializes any sketch envelope produced by a MarshalBinary
+// in this module, dispatching on the self-describing GSK1 tag. The
+// result is the family's concrete type (e.g. *KLL, *BloomFilter);
+// unknown or retired tags and malformed payloads return ErrCorrupt.
+func Decode(data []byte) (any, error) {
+	inst, _, err := registry.Decode(data)
+	return inst, err
+}
+
+// DecodeInfo is like Decode but also reports the decoded family.
+func DecodeInfo(data []byte) (any, string, error) {
+	inst, d, err := registry.Decode(data)
+	if err != nil {
+		return nil, "", err
+	}
+	return inst, d.Name, nil
+}
 
 // Kernel approximation (TensorSketch, cite [40]).
 type TensorSketch = kernel.TensorSketch
