@@ -1,12 +1,24 @@
 // Command sketchd serves the sketch library over HTTP: a namespace of
-// named sketches (hll, countmin, bloom, kll, theta) with batched
-// ingest, queries, mergeable-summary exchange, and /debug/statsz
-// counters. See internal/server for the route table and README
-// "Running sketchd" for curl examples.
+// named sketches (any servable registry family) with batched ingest,
+// queries, mergeable-summary exchange, and /debug/statsz counters. See
+// internal/server for the route table and README "Running sketchd"
+// for curl examples.
+//
+// With -data-dir set, sketchd is durable: every mutation is appended
+// to a write-ahead log (group-committed by a background syncer),
+// periodic snapshots truncate the log, and a restart — clean or not —
+// recovers every sketch from the latest snapshot plus the WAL tail.
+// Without -data-dir the server is in-memory only, exactly as before.
 //
 // Usage:
 //
 //	sketchd -addr :7600
+//	sketchd -addr :7600 -data-dir /var/lib/sketchd \
+//	        -fsync-interval 100ms -snapshot-interval 1m -wal-max-bytes 67108864
+//
+// -fsync-interval > 0 group-commits on that period (bounded data-loss
+// window); 0 fsyncs after every drained batch; negative never fsyncs
+// (the OS page cache decides).
 package main
 
 import (
@@ -20,14 +32,36 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":7600", "listen address")
+	dataDir := flag.String("data-dir", "", "durability directory (empty: in-memory only)")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond,
+		"WAL group-commit interval (>0 timed, 0 per-batch, <0 never fsync)")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute,
+		"interval between snapshots that truncate the WAL (<=0 disables the timer)")
+	walMaxBytes := flag.Int64("wal-max-bytes", 64<<20,
+		"WAL size that forces a snapshot + truncation")
 	flag.Parse()
 
 	srv := server.New()
+	if *dataDir != "" {
+		stats, err := srv.EnableDurability(*dataDir, durable.Options{
+			FsyncInterval:    *fsyncInterval,
+			SnapshotInterval: *snapshotInterval,
+			WALMaxBytes:      *walMaxBytes,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("sketchd: durability: %v", err)
+		}
+		log.Printf("sketchd: durable in %s: recovered %d sketches (snapshot lsn %d), replayed %d WAL records",
+			*dataDir, stats.SketchesLoaded, stats.SnapshotLSN, stats.RecordsReplayed)
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -45,10 +79,16 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 
+	// Graceful shutdown: stop accepting requests and drain in-flight
+	// ones first, then flush the WAL and write a final snapshot so a
+	// clean restart recovers without replaying anything.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("sketchd: shutdown: %v", err)
+	}
+	if err := srv.CloseDurability(); err != nil {
+		log.Printf("sketchd: closing durability: %v", err)
 	}
 	ops := srv.Ops().Snapshot()
 	log.Printf("sketchd: served %d adds in %d batches, %d merges, %d queries",

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	sketch "repro"
+	"repro/internal/durable"
 	"repro/internal/server"
 )
 
@@ -373,6 +374,57 @@ func FuzzGenericDecode(f *testing.F) {
 		}
 		if _, err := m.MarshalBinary(); err != nil {
 			t.Fatalf("decoded %q fails to re-marshal: %v", name, err)
+		}
+	})
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the durable WAL replayer. The
+// invariants under corruption: never panic, never consume past the
+// input, never replay a record the caller already has (LSN must be
+// strictly increasing and above the floor), and every replayed record
+// must itself re-encode to a frame the replayer accepts.
+func FuzzWALReplay(f *testing.F) {
+	valid := durable.WALHeader()
+	for lsn := uint64(1); lsn <= 3; lsn++ {
+		valid = durable.AppendRecord(valid, durable.Record{
+			LSN: lsn, Op: durable.OpIngest, Name: "s", Body: []byte("alpha\nbeta"),
+		})
+	}
+	corpusFor(f, valid)
+	torn := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(torn)
+	f.Add(durable.WALHeader())
+	f.Fuzz(func(t *testing.T, in []byte) {
+		const floor = uint64(1)
+		prev := floor
+		var replayed int
+		consumed, last, err := durable.ReplayLog(in, floor, func(r durable.Record) error {
+			if r.LSN <= prev {
+				t.Fatalf("replayed LSN %d after %d: not strictly increasing above the floor", r.LSN, prev)
+			}
+			prev = r.LSN
+			replayed++
+			return nil
+		})
+		if err != nil {
+			return // corrupt header: nothing may have been replayed before it
+		}
+		if consumed > len(in) {
+			t.Fatalf("consumed %d of %d input bytes", consumed, len(in))
+		}
+		if replayed > 0 && last != prev {
+			t.Fatalf("ReplayLog reports last LSN %d, callback saw %d", last, prev)
+		}
+		// The valid prefix must replay identically a second time.
+		var again int
+		if _, _, err := durable.ReplayLog(in[:consumed], floor, func(durable.Record) error {
+			again++
+			return nil
+		}); err != nil && consumed > 0 {
+			t.Fatalf("valid prefix failed to replay: %v", err)
+		}
+		if again != replayed {
+			t.Fatalf("prefix replayed %d records, first pass %d", again, replayed)
 		}
 	})
 }

@@ -1,0 +1,355 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleLog(records []Record) []byte {
+	buf := WALHeader()
+	for _, r := range records {
+		buf = AppendRecord(buf, r)
+	}
+	return buf
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{LSN: 1, Op: OpCreate, Name: "hll-a", Body: []byte(`{"type":"hll"}`)},
+		{LSN: 2, Op: OpIngest, Name: "hll-a", Body: []byte("alpha\nbeta\ngamma")},
+		{LSN: 3, Op: OpIngest, Name: "hll-a", Body: []byte("delta")},
+		{LSN: 4, Op: OpDelete, Name: "hll-a"},
+	}
+}
+
+func replayAll(t *testing.T, data []byte, lastLSN uint64) (recs []Record, consumed int, last uint64) {
+	t.Helper()
+	consumed, last, err := ReplayLog(data, lastLSN, func(r Record) error {
+		recs = append(recs, Record{LSN: r.LSN, Op: r.Op, Name: r.Name, Body: append([]byte(nil), r.Body...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayLog: %v", err)
+	}
+	return recs, consumed, last
+}
+
+func TestWALRoundtrip(t *testing.T) {
+	want := sampleRecords()
+	data := sampleLog(want)
+	got, consumed, last := replayAll(t, data, 0)
+	if consumed != len(data) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+	}
+	if last != 4 {
+		t.Fatalf("last LSN %d, want 4", last)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].LSN != want[i].LSN || got[i].Op != want[i].Op || got[i].Name != want[i].Name ||
+			!bytes.Equal(got[i].Body, want[i].Body) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALReplaySkipsAlreadySeen(t *testing.T) {
+	data := sampleLog(sampleRecords())
+	got, _, _ := replayAll(t, data, 2)
+	// Records with LSN <= 2 fail the strictly-increasing rule at the
+	// head, so replay ends the valid prefix there: a caller resuming
+	// past a log's own records must slice the log, not skip by LSN.
+	if len(got) != 0 {
+		t.Fatalf("replay from lastLSN=2 on a log starting at 1: got %d records, want 0", len(got))
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	data := sampleLog(sampleRecords())
+	for cut := len(data) - 1; cut > len(data)-12; cut-- {
+		got, consumed, last := replayAll(t, data[:cut], 0)
+		if len(got) != 3 || last != 3 {
+			t.Fatalf("cut at %d: replayed %d records (last %d), want 3 records", cut, len(got), last)
+		}
+		if consumed > cut {
+			t.Fatalf("cut at %d: consumed %d past the data", cut, consumed)
+		}
+	}
+}
+
+func TestWALBitFlip(t *testing.T) {
+	recs := sampleRecords()
+	data := sampleLog(recs)
+	// Flip one byte in every position of the second record's span; the
+	// valid prefix must always end after record one (never over-replay,
+	// never panic). Find record 2's span by encoding incrementally.
+	oneRec := len(sampleLog(recs[:1]))
+	twoRec := len(sampleLog(recs[:2]))
+	for off := oneRec; off < twoRec; off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		got, _, last := replayAll(t, mut, 0)
+		if len(got) > 1 || last > 1 {
+			t.Fatalf("bit flip at %d: replayed %d records (last %d), want <= 1", off, len(got), last)
+		}
+	}
+}
+
+func TestWALRejectsNonMonotonicLSN(t *testing.T) {
+	buf := WALHeader()
+	buf = AppendRecord(buf, Record{LSN: 5, Op: OpIngest, Name: "a", Body: []byte("x")})
+	buf = AppendRecord(buf, Record{LSN: 5, Op: OpIngest, Name: "a", Body: []byte("y")})
+	got, _, last := replayAll(t, buf, 0)
+	if len(got) != 1 || last != 5 {
+		t.Fatalf("duplicate LSN: replayed %d records (last %d), want exactly 1", len(got), last)
+	}
+}
+
+func TestWALRejectsForeignHeader(t *testing.T) {
+	if _, _, err := ReplayLog([]byte("GSK1xxxxxxxx"), 0, nil); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+	if _, _, err := ReplayLog([]byte("DU"), 0, nil); err == nil {
+		t.Fatal("short header accepted")
+	}
+	future := WALHeader()
+	future[4] = walVersion + 1
+	if _, _, err := ReplayLog(future, 0, nil); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestWALImplausibleLength(t *testing.T) {
+	buf := WALHeader()
+	buf = binary.LittleEndian.AppendUint32(buf, MaxRecordBytes+1)
+	buf = append(buf, make([]byte, 64)...)
+	got, _, _ := replayAll(t, buf, 0)
+	if len(got) != 0 {
+		t.Fatalf("oversized length field: replayed %d records, want 0", len(got))
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	want := []SketchSnap{
+		{Name: "a", Req: []byte(`{"type":"hll"}`), LastLSN: 12, Data: []byte("GSK1-bytes-a")},
+		{Name: "b", Req: []byte(`{"type":"kll","k":200}`), LastLSN: 7, Data: []byte("GSK1-bytes-b")},
+		{Name: "", Req: []byte(`{}`), LastLSN: 0, Data: nil},
+	}
+	got, err := decodeSnapshot(encodeSnapshot(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].LastLSN != want[i].LastLSN ||
+			!bytes.Equal(got[i].Req, want[i].Req) || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("row %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotRejectsDamage(t *testing.T) {
+	data := encodeSnapshot([]SketchSnap{{Name: "a", Req: []byte("{}"), LastLSN: 1, Data: []byte("xyz")}})
+	for _, mut := range [][]byte{
+		data[:len(data)-1],              // torn tail
+		append([]byte("XXXX"), data...), // foreign prefix
+	} {
+		if _, err := decodeSnapshot(mut); err == nil {
+			t.Fatal("damaged snapshot accepted")
+		}
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-2] ^= 1
+	if _, err := decodeSnapshot(flip); err == nil {
+		t.Fatal("bit-flipped snapshot accepted")
+	}
+}
+
+// collectHandler records everything Recover feeds it.
+type collectHandler struct {
+	snapLSN  uint64
+	restored []SketchSnap
+	replayed []Record
+}
+
+func (h *collectHandler) Begin(lsn uint64) error { h.snapLSN = lsn; return nil }
+func (h *collectHandler) RestoreSketch(s SketchSnap) error {
+	h.restored = append(h.restored, s)
+	return nil
+}
+func (h *collectHandler) Replay(r Record) error {
+	h.replayed = append(h.replayed, Record{LSN: r.LSN, Op: r.Op, Name: r.Name, Body: append([]byte(nil), r.Body...)})
+	return nil
+}
+
+func TestManagerAppendSyncRecover(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{FsyncInterval: 0}) // per-batch commit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recover(&collectHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(func() []SketchSnap { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range sampleRecords() {
+		if lsn := m.Append(rec.Op, rec.Name, rec.Body); lsn != uint64(i+1) {
+			t.Fatalf("Append %d: lsn %d, want %d", i, lsn, i+1)
+		}
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Status()
+	if !st.Enabled || st.WALLSN != 4 || st.WALBytes <= int64(walHeaderLen) || st.LastFsyncAgeMS < 0 {
+		t.Fatalf("status after sync: %+v", st)
+	}
+	m.Kill() // no final snapshot: recovery must come from the WAL alone
+
+	m2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h collectHandler
+	stats, err := m2.Recover(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecordsReplayed != 4 || len(h.replayed) != 4 || h.snapLSN != 0 {
+		t.Fatalf("recovery stats %+v, replayed %d", stats, len(h.replayed))
+	}
+	want := sampleRecords()
+	for i := range want {
+		if h.replayed[i].LSN != want[i].LSN || !bytes.Equal(h.replayed[i].Body, want[i].Body) {
+			t.Fatalf("replayed[%d] = %+v, want %+v", i, h.replayed[i], want[i])
+		}
+	}
+	// New appends continue the LSN sequence past the recovered tail.
+	if err := m2.Start(func() []SketchSnap { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if lsn := m2.Append(OpIngest, "hll-a", []byte("eps")); lsn != 5 {
+		t.Fatalf("post-recovery Append lsn %d, want 5", lsn)
+	}
+	m2.Close()
+}
+
+func TestManagerSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{FsyncInterval: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recover(&collectHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	captured := []SketchSnap{{Name: "a", Req: []byte(`{"type":"hll"}`), LastLSN: 2, Data: []byte("state")}}
+	if err := m.Start(func() []SketchSnap { return captured }); err != nil {
+		t.Fatal(err)
+	}
+	m.Append(OpCreate, "a", []byte(`{"type":"hll"}`))
+	m.Append(OpIngest, "a", []byte("x"))
+	if err := m.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	m.Append(OpIngest, "a", []byte("y")) // lands in the post-rotation segment
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	segs := listByPrefixAsc(dir, "wal-", ".log")
+	if len(segs) != 1 {
+		t.Fatalf("after snapshot: %d WAL segments %v, want 1 (older truncated)", len(segs), segs)
+	}
+	if st := m.Status(); st.LastSnapshotLSN != 2 {
+		t.Fatalf("LastSnapshotLSN %d, want 2", st.LastSnapshotLSN)
+	}
+	m.Kill()
+
+	m2, _ := Open(dir, Options{})
+	var h collectHandler
+	if _, err := m2.Recover(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.snapLSN != 2 || len(h.restored) != 1 || h.restored[0].Name != "a" {
+		t.Fatalf("snapshot recovery: snapLSN %d, restored %+v", h.snapLSN, h.restored)
+	}
+	if len(h.replayed) != 1 || h.replayed[0].LSN != 3 || !bytes.Equal(h.replayed[0].Body, []byte("y")) {
+		t.Fatalf("WAL tail after snapshot: %+v", h.replayed)
+	}
+}
+
+func TestRecoverFallsBackToOlderSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	old := encodeSnapshot([]SketchSnap{{Name: "old", Req: []byte("{}"), LastLSN: 1, Data: []byte("v1")}})
+	if err := os.WriteFile(filepath.Join(dir, snapFileName(1)), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := encodeSnapshot([]SketchSnap{{Name: "new", Req: []byte("{}"), LastLSN: 9, Data: []byte("v2")}})
+	bad[len(bad)-1] ^= 1
+	if err := os.WriteFile(filepath.Join(dir, snapFileName(9)), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeManifest(dir, manifest{Version: 1, Snapshot: snapFileName(9), LSN: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Open(dir, Options{})
+	var h collectHandler
+	if _, err := m.Recover(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.snapLSN != 1 || len(h.restored) != 1 || h.restored[0].Name != "old" {
+		t.Fatalf("fallback recovery: snapLSN %d, restored %+v", h.snapLSN, h.restored)
+	}
+}
+
+func TestRecoverTruncatesTornSegmentOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Open(dir, Options{FsyncInterval: 0})
+	m.Recover(&collectHandler{})
+	m.Start(func() []SketchSnap { return nil })
+	m.Append(OpCreate, "a", []byte(`{"type":"hll"}`))
+	m.Append(OpIngest, "a", []byte("x"))
+	m.Sync()
+	m.Kill()
+
+	seg := listByPrefixAsc(dir, "wal-", ".log")[0]
+	path := filepath.Join(dir, seg)
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, append(data, "garbage-partial-record"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _ := Open(dir, Options{})
+	var h collectHandler
+	stats, err := m2.Recover(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.replayed) != 2 || stats.TornSegments != 1 {
+		t.Fatalf("torn-tail recovery: %d records, stats %+v", len(h.replayed), stats)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(after, data) {
+		t.Fatalf("segment not truncated back to the valid prefix: %d bytes, want %d", len(after), len(data))
+	}
+	// A third recovery sees a clean log.
+	m3, _ := Open(dir, Options{})
+	var h3 collectHandler
+	stats3, _ := m3.Recover(&h3)
+	if len(h3.replayed) != 2 || stats3.TornSegments != 0 {
+		t.Fatalf("post-truncation recovery: %d records, stats %+v", len(h3.replayed), stats3)
+	}
+	if !reflect.DeepEqual(h3.replayed, h.replayed) {
+		t.Fatal("post-truncation replay differs")
+	}
+}

@@ -1,0 +1,543 @@
+package durable
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Manager. Zero values take the documented
+// defaults.
+type Options struct {
+	// FsyncInterval is the group-commit policy: > 0 fsyncs the WAL on
+	// that period (bounded data-loss window, highest throughput); 0
+	// fsyncs after every drained batch of records (per-batch commit);
+	// < 0 never fsyncs explicitly (the OS page cache decides — fastest,
+	// survives process crashes but not power loss).
+	FsyncInterval time.Duration
+	// MaxBatchBytes fsyncs early once this many unsynced bytes have
+	// accumulated, regardless of the interval. Default 1 MiB.
+	MaxBatchBytes int
+	// SnapshotInterval is the period between automatic snapshots
+	// (each snapshot truncates the WAL at its cut LSN). <= 0 disables
+	// timed snapshots; the WAL size trigger and final shutdown
+	// snapshot still apply.
+	SnapshotInterval time.Duration
+	// WALMaxBytes triggers a snapshot (and thus WAL truncation) when
+	// the active segment exceeds this size. Default 64 MiB.
+	WALMaxBytes int64
+	// QueueDepth bounds the append queue between request handlers and
+	// the syncer. A full queue applies backpressure to writers rather
+	// than dropping records. Default 4096.
+	QueueDepth int
+	// Logf receives operational log lines. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) applyDefaults() {
+	if o.MaxBatchBytes == 0 {
+		o.MaxBatchBytes = 1 << 20
+	}
+	if o.WALMaxBytes == 0 {
+		o.WALMaxBytes = 64 << 20
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 4096
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Status is the durability block surfaced on GET /v1/status.
+type Status struct {
+	Enabled         bool   `json:"enabled"`
+	WALLSN          uint64 `json:"wal_lsn"`
+	LastSnapshotLSN uint64 `json:"last_snapshot_lsn"`
+	WALBytes        int64  `json:"wal_bytes"`
+	LastFsyncAgeMS  int64  `json:"last_fsync_age_ms"`
+}
+
+// RecoveryStats summarizes what Recover did.
+type RecoveryStats struct {
+	SnapshotLSN     uint64
+	SketchesLoaded  int
+	SketchesSkipped int
+	RecordsReplayed int
+	TornSegments    int
+}
+
+// RecoveryHandler receives the recovered state: Begin is called once
+// with the snapshot cut LSN (0 if no snapshot), then RestoreSketch per
+// snapshot row, then Replay per WAL record in LSN order. Handler
+// errors are logged and the offending row/record skipped — recovery is
+// never fatal.
+type RecoveryHandler interface {
+	Begin(snapLSN uint64) error
+	RestoreSketch(s SketchSnap) error
+	Replay(r Record) error
+}
+
+// Manager owns one data directory: the append queue, the background
+// syncer that group-commits the WAL, the snapshot store, and recovery.
+//
+// Lifecycle: Open → Recover → Start → (Append | Sync | SnapshotNow)* →
+// Close. Close flushes the queue, fsyncs, writes a final snapshot, and
+// stops the syncer.
+type Manager struct {
+	dir  string
+	opts Options
+
+	lsn atomic.Uint64
+	mu  sync.Mutex // orders LSN assignment with queue insertion
+
+	ch      chan Record
+	syncReq chan chan error
+	snapReq chan chan error
+	quit    chan struct{}
+	kill    atomic.Bool
+	wg      sync.WaitGroup
+
+	capture func() []SketchSnap
+
+	// syncer-owned state (no locking: single goroutine)
+	f           *os.File
+	w           *bufio.Writer
+	seq         uint64
+	unsynced    int
+	dirty       bool
+	encBuf      []byte
+	activeBytes int64
+
+	// status atomics
+	snapLSN   atomic.Uint64
+	walBytes  atomic.Int64
+	lastFsync atomic.Int64 // unixnano; 0 until the first commit
+
+	recovered RecoveryStats
+}
+
+// Open prepares a manager over dir (created if absent). No files are
+// touched beyond the mkdir; call Recover then Start.
+func Open(dir string, opts Options) (*Manager, error) {
+	opts.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		dir:     dir,
+		opts:    opts,
+		ch:      make(chan Record, opts.QueueDepth),
+		syncReq: make(chan chan error, 1),
+		snapReq: make(chan chan error, 1),
+		quit:    make(chan struct{}),
+		seq:     1,
+	}, nil
+}
+
+// Recover loads the latest valid snapshot and replays the WAL tail
+// into h. Torn or corrupt tails are truncated to the last valid
+// record; segments past a damaged one are deleted so the log keeps a
+// single timeline. Must be called before Start.
+func (m *Manager) Recover(h RecoveryHandler) (RecoveryStats, error) {
+	logf := m.opts.Logf
+	var stats RecoveryStats
+
+	snaps, snapLSN, ok := loadLatestSnapshot(m.dir, logf)
+	if !ok {
+		snapLSN = 0
+	}
+	stats.SnapshotLSN = snapLSN
+	if err := h.Begin(snapLSN); err != nil {
+		return stats, err
+	}
+	for _, s := range snaps {
+		if err := h.RestoreSketch(s); err != nil {
+			logf("durable: skipping sketch %q from snapshot: %v", s.Name, err)
+			stats.SketchesSkipped++
+			continue
+		}
+		stats.SketchesLoaded++
+	}
+
+	last := uint64(0)
+	segments := listByPrefixAsc(m.dir, "wal-", ".log")
+	damagedAt := -1
+	for i, name := range segments {
+		path := filepath.Join(m.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			logf("durable: segment %s unreadable: %v", name, err)
+			damagedAt = i
+			break
+		}
+		consumed, lastOut, err := ReplayLog(data, last, func(rec Record) error {
+			if err := h.Replay(rec); err != nil {
+				logf("durable: skipping record lsn=%d op=%d %q: %v", rec.LSN, rec.Op, rec.Name, err)
+			} else {
+				stats.RecordsReplayed++
+			}
+			return nil
+		})
+		last = lastOut
+		if err != nil {
+			// Unreadable header: nothing in this segment is trusted.
+			logf("durable: segment %s: %v", name, err)
+			damagedAt = i
+			break
+		}
+		if consumed < len(data) {
+			// Torn or corrupt tail: truncate the file to the valid
+			// prefix so future recoveries read it cleanly.
+			logf("durable: segment %s: truncating %d damaged tail bytes at offset %d",
+				name, len(data)-consumed, consumed)
+			stats.TornSegments++
+			if err := os.Truncate(path, int64(consumed)); err != nil {
+				logf("durable: truncate %s: %v", name, err)
+			}
+			damagedAt = i + 1 // this segment's prefix is good; later ones are not
+			break
+		}
+		m.seq = walSeqFromName(name) + 1
+	}
+	if damagedAt >= 0 {
+		// Segments past the damage point are from a dead timeline — new
+		// appends reuse their LSN range. Delete them so the next
+		// recovery cannot interleave the two.
+		for i := damagedAt; i < len(segments); i++ {
+			logf("durable: dropping post-damage segment %s", segments[i])
+			os.Remove(filepath.Join(m.dir, segments[i]))
+		}
+		if damagedAt > 0 {
+			m.seq = walSeqFromName(segments[damagedAt-1]) + 1
+		}
+	}
+
+	if last < snapLSN {
+		last = snapLSN
+	}
+	m.lsn.Store(last)
+	m.snapLSN.Store(snapLSN)
+	m.recovered = stats
+	logf("durable: recovered %d sketches (snapshot lsn %d), replayed %d records, lsn now %d",
+		stats.SketchesLoaded, snapLSN, stats.RecordsReplayed, last)
+	return stats, nil
+}
+
+// RecoveredStats returns the stats from the last Recover call.
+func (m *Manager) RecoveredStats() RecoveryStats { return m.recovered }
+
+// Start opens a fresh WAL segment and launches the background syncer.
+// capture must return a consistent per-sketch snapshot set; it is
+// called from a snapshot goroutine while the syncer keeps draining the
+// append queue, so capture may block on per-sketch locks without
+// deadlocking writers.
+func (m *Manager) Start(capture func() []SketchSnap) error {
+	m.capture = capture
+	if err := m.openSegment(); err != nil {
+		return err
+	}
+	m.wg.Add(1)
+	go m.run()
+	return nil
+}
+
+// Append copies the record body, assigns the next LSN, and enqueues it
+// for the syncer; it blocks only when the queue is full (backpressure,
+// never loss). Returns the assigned LSN. Callers serialize Append with
+// the in-memory apply of the same sketch (per-entry lock) so per-sketch
+// WAL order matches apply order.
+func (m *Manager) Append(op byte, name string, body []byte) uint64 {
+	rec := Record{Op: op, Name: name}
+	if len(body) > 0 {
+		rec.Body = append(make([]byte, 0, len(body)), body...)
+	}
+	m.mu.Lock()
+	rec.LSN = m.lsn.Add(1)
+	m.ch <- rec
+	m.mu.Unlock()
+	return rec.LSN
+}
+
+// Sync blocks until every record appended before the call is written
+// and fsynced — a durability barrier for tests and callers that need
+// commit confirmation.
+func (m *Manager) Sync() error {
+	done := make(chan error, 1)
+	select {
+	case m.syncReq <- done:
+		return <-done
+	case <-m.quit:
+		return fmt.Errorf("durable: manager closed")
+	}
+}
+
+// SnapshotNow takes a snapshot immediately and truncates the WAL.
+func (m *Manager) SnapshotNow() error {
+	done := make(chan error, 1)
+	select {
+	case m.snapReq <- done:
+		return <-done
+	case <-m.quit:
+		return fmt.Errorf("durable: manager closed")
+	}
+}
+
+// Close drains the queue, fsyncs the WAL, writes a final snapshot, and
+// stops the syncer. The HTTP layer must stop producing appends first.
+func (m *Manager) Close() error {
+	close(m.quit)
+	m.wg.Wait()
+	return nil
+}
+
+// Kill stops the syncer abruptly: no drain, no flush, no final
+// snapshot — records still buffered in the queue or the bufio layer
+// are lost, exactly as in a kill -9. Test hook for crash-recovery
+// coverage.
+func (m *Manager) Kill() {
+	m.kill.Store(true)
+	close(m.quit)
+	m.wg.Wait()
+}
+
+// Status reports the durability gauges.
+func (m *Manager) Status() Status {
+	s := Status{
+		Enabled:         true,
+		WALLSN:          m.lsn.Load(),
+		LastSnapshotLSN: m.snapLSN.Load(),
+		WALBytes:        m.walBytes.Load(),
+		LastFsyncAgeMS:  -1,
+	}
+	if t := m.lastFsync.Load(); t != 0 {
+		s.LastFsyncAgeMS = time.Since(time.Unix(0, t)).Milliseconds()
+	}
+	return s
+}
+
+// --- syncer ---
+
+func (m *Manager) run() {
+	defer m.wg.Done()
+	var fsyncC, snapC <-chan time.Time
+	if m.opts.FsyncInterval > 0 {
+		t := time.NewTicker(m.opts.FsyncInterval)
+		defer t.Stop()
+		fsyncC = t.C
+	}
+	if m.opts.SnapshotInterval > 0 {
+		t := time.NewTicker(m.opts.SnapshotInterval)
+		defer t.Stop()
+		snapC = t.C
+	}
+	for {
+		select {
+		case rec := <-m.ch:
+			m.writeRecord(rec)
+			m.drainQueue()
+			m.maybeCommit(false)
+			if m.activeBytes > m.opts.WALMaxBytes {
+				if err := m.doSnapshot(); err != nil {
+					m.opts.Logf("durable: size-triggered snapshot: %v", err)
+				}
+			}
+		case <-fsyncC:
+			m.commit()
+		case <-snapC:
+			if err := m.doSnapshot(); err != nil {
+				m.opts.Logf("durable: timed snapshot: %v", err)
+			}
+		case done := <-m.syncReq:
+			m.drainQueue()
+			done <- m.commit()
+		case done := <-m.snapReq:
+			m.drainQueue()
+			done <- m.doSnapshot()
+		case <-m.quit:
+			if m.kill.Load() {
+				// Simulated kill -9: drop buffered data on the floor.
+				m.f.Close()
+				return
+			}
+			m.drainQueue()
+			if err := m.commit(); err != nil {
+				m.opts.Logf("durable: final commit: %v", err)
+			}
+			if err := m.doSnapshot(); err != nil {
+				m.opts.Logf("durable: final snapshot: %v", err)
+			}
+			m.w.Flush()
+			m.f.Sync()
+			m.f.Close()
+			return
+		}
+	}
+}
+
+// drainQueue moves every queued record to the writer without blocking.
+func (m *Manager) drainQueue() {
+	for {
+		select {
+		case rec := <-m.ch:
+			m.writeRecord(rec)
+		default:
+			return
+		}
+	}
+}
+
+func (m *Manager) writeRecord(rec Record) {
+	m.encBuf = AppendRecord(m.encBuf[:0], rec)
+	if _, err := m.w.Write(m.encBuf); err != nil {
+		m.opts.Logf("durable: WAL write (lsn %d): %v", rec.LSN, err)
+		return
+	}
+	m.unsynced += len(m.encBuf)
+	m.activeBytes += int64(len(m.encBuf))
+	m.walBytes.Store(m.activeBytes)
+	m.dirty = true
+}
+
+// maybeCommit applies the group-commit policy after a write burst.
+func (m *Manager) maybeCommit(force bool) {
+	switch {
+	case force,
+		m.opts.FsyncInterval == 0, // per-batch commit
+		m.unsynced >= m.opts.MaxBatchBytes:
+		m.commit()
+	}
+}
+
+// commit flushes buffered records and fsyncs unless fsync is disabled
+// (FsyncInterval < 0), in which case it only flushes to the OS.
+func (m *Manager) commit() error {
+	if !m.dirty {
+		return nil
+	}
+	if err := m.w.Flush(); err != nil {
+		m.opts.Logf("durable: WAL flush: %v", err)
+		return err
+	}
+	if m.opts.FsyncInterval >= 0 {
+		if err := m.f.Sync(); err != nil {
+			m.opts.Logf("durable: WAL fsync: %v", err)
+			return err
+		}
+	}
+	m.dirty = false
+	m.unsynced = 0
+	m.lastFsync.Store(time.Now().UnixNano())
+	return nil
+}
+
+// openSegment creates the next WAL segment and makes it the active
+// write target.
+func (m *Manager) openSegment() error {
+	name := walFileName(m.seq)
+	f, err := os.OpenFile(filepath.Join(m.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	header := WALHeader()
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(m.dir); err != nil {
+		f.Close()
+		return err
+	}
+	m.f = f
+	m.w = bufio.NewWriterSize(f, 256<<10)
+	m.activeBytes = int64(len(header))
+	m.walBytes.Store(m.activeBytes)
+	m.unsynced = 0
+	m.dirty = false
+	return nil
+}
+
+// doSnapshot is the snapshot + WAL-truncation protocol, run on the
+// syncer goroutine:
+//
+//  1. flush+fsync and rotate to a fresh segment — every record already
+//     written lands before the cut;
+//  2. read the cut LSN;
+//  3. capture every live sketch (in a helper goroutine, while this
+//     goroutine keeps draining the append queue so writers blocked on
+//     per-sketch locks can finish their Append without deadlock);
+//  4. commit the snapshot file, then the manifest (atomic renames);
+//  5. delete WAL segments before the rotation and snapshots older than
+//     the previous one.
+//
+// Every record with LSN <= the cut is subsumed: it was applied to its
+// sketch before that sketch was captured (apply and Append share the
+// per-sketch lock), so replay skips it via the per-sketch LastLSN,
+// and creates/deletes at or below the cut are skipped wholesale.
+func (m *Manager) doSnapshot() error {
+	if m.capture == nil {
+		return nil
+	}
+	if err := m.commit(); err != nil {
+		return err
+	}
+	oldSeq := m.seq
+	m.w.Flush()
+	m.f.Sync()
+	m.f.Close()
+	m.seq++
+	if err := m.openSegment(); err != nil {
+		return fmt.Errorf("durable: rotating WAL: %w", err)
+	}
+
+	cut := m.lsn.Load()
+
+	snapsC := make(chan []SketchSnap, 1)
+	go func() { snapsC <- m.capture() }()
+	var snaps []SketchSnap
+	for snaps == nil {
+		select {
+		case s := <-snapsC:
+			if s == nil {
+				s = []SketchSnap{}
+			}
+			snaps = s
+		case rec := <-m.ch:
+			m.writeRecord(rec)
+		}
+	}
+
+	name := snapFileName(cut)
+	if err := writeFileSync(m.dir, name, encodeSnapshot(snaps)); err != nil {
+		return fmt.Errorf("durable: writing snapshot: %w", err)
+	}
+	if err := writeManifest(m.dir, manifest{Version: 1, Snapshot: name, LSN: cut}); err != nil {
+		return fmt.Errorf("durable: writing manifest: %w", err)
+	}
+	m.snapLSN.Store(cut)
+
+	// Truncate the log: segments from before the rotation are fully
+	// subsumed by the snapshot.
+	for _, seg := range listByPrefixAsc(m.dir, "wal-", ".log") {
+		if walSeqFromName(seg) <= oldSeq {
+			os.Remove(filepath.Join(m.dir, seg))
+		}
+	}
+	// Retire old snapshots, keeping one fallback behind the current.
+	snapFiles := listByPrefixDesc(m.dir, "snap-", ".snap")
+	for i, sf := range snapFiles {
+		if i >= 2 {
+			os.Remove(filepath.Join(m.dir, sf))
+		}
+	}
+	m.opts.Logf("durable: snapshot %s committed (%d sketches, cut lsn %d)", name, len(snaps), cut)
+	return nil
+}

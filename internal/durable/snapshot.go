@@ -1,0 +1,274 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot file format (version 1):
+//
+//	header:  "DSN1" magic (4 bytes) + version byte
+//	records: u32 payload length
+//	         u32 CRC32C of the payload
+//	         payload:
+//	           u64 last applied LSN for this sketch
+//	           u32 name length + name bytes
+//	           u32 create-request length + JSON CreateRequest bytes
+//	           u32 data length + sketch MarshalBinary envelope
+//
+// A snapshot is valid only if every record through EOF validates — a
+// torn snapshot is rejected whole and recovery falls back to the
+// previous one (snapshots commit via write-temp + fsync + rename, so
+// a torn file only exists if the filesystem itself lost the rename).
+const (
+	snapMagic   = "DSN1"
+	snapVersion = 1
+)
+
+// SketchSnap is one sketch's row in a snapshot: everything needed to
+// reconstruct the live entry (creation parameters + serialized state)
+// plus the LSN up to which the state already includes WAL records.
+type SketchSnap struct {
+	Name    string
+	Req     []byte // JSON CreateRequest
+	LastLSN uint64
+	Data    []byte // MarshalBinary envelope
+}
+
+// manifest is the JSON document in the MANIFEST file: which snapshot
+// file is current and the global LSN at which it cut the log. Records
+// with LSN at or below the manifest LSN are subsumed by the snapshot
+// (ingest/merge via the finer per-sketch LastLSN, create/delete via
+// the manifest LSN itself).
+type manifest struct {
+	Version  int    `json:"version"`
+	Snapshot string `json:"snapshot"`
+	LSN      uint64 `json:"lsn"`
+}
+
+func snapFileName(lsn uint64) string { return fmt.Sprintf("snap-%020d.snap", lsn) }
+func walFileName(seq uint64) string  { return fmt.Sprintf("wal-%020d.log", seq) }
+func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
+
+// encodeSnapshot renders a complete snapshot file.
+func encodeSnapshot(snaps []SketchSnap) []byte {
+	size := walHeaderLen
+	for _, s := range snaps {
+		size += recordOverhead + 8 + 4 + len(s.Name) + 4 + len(s.Req) + 4 + len(s.Data)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapVersion)
+	for _, s := range snaps {
+		payloadLen := 8 + 4 + len(s.Name) + 4 + len(s.Req) + 4 + len(s.Data)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+		crcAt := len(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, 0)
+		payloadAt := len(buf)
+		buf = binary.LittleEndian.AppendUint64(buf, s.LastLSN)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Name)))
+		buf = append(buf, s.Name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Req)))
+		buf = append(buf, s.Req...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Data)))
+		buf = append(buf, s.Data...)
+		binary.LittleEndian.PutUint32(buf[crcAt:], Checksum(buf[payloadAt:]))
+	}
+	return buf
+}
+
+// decodeSnapshot parses and validates a snapshot file whole; any
+// damage rejects the file.
+func decodeSnapshot(data []byte) ([]SketchSnap, error) {
+	if len(data) < walHeaderLen || string(data[:4]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot header", ErrCorruptLog)
+	}
+	if data[4] == 0 || data[4] > snapVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, support <= %d", ErrCorruptLog, data[4], snapVersion)
+	}
+	var out []SketchSnap
+	off := walHeaderLen
+	for off < len(data) {
+		if len(data)-off < recordOverhead {
+			return nil, fmt.Errorf("%w: torn snapshot record at %d", ErrCorruptLog, off)
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		if payloadLen > MaxRecordBytes || payloadLen > len(data)-off-recordOverhead {
+			return nil, fmt.Errorf("%w: implausible snapshot record at %d", ErrCorruptLog, off)
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		p := data[off+recordOverhead : off+recordOverhead+payloadLen]
+		if Checksum(p) != wantCRC {
+			return nil, fmt.Errorf("%w: snapshot record CRC mismatch at %d", ErrCorruptLog, off)
+		}
+		if len(p) < 8+4 {
+			return nil, fmt.Errorf("%w: short snapshot record at %d", ErrCorruptLog, off)
+		}
+		var s SketchSnap
+		s.LastLSN = binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		nameLen := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if nameLen > len(p)-4 {
+			return nil, fmt.Errorf("%w: snapshot name overrun at %d", ErrCorruptLog, off)
+		}
+		s.Name = string(p[:nameLen])
+		p = p[nameLen:]
+		reqLen := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if reqLen > len(p)-4 {
+			return nil, fmt.Errorf("%w: snapshot request overrun at %d", ErrCorruptLog, off)
+		}
+		s.Req = append([]byte(nil), p[:reqLen]...)
+		p = p[reqLen:]
+		dataLen := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if dataLen != len(p) {
+			return nil, fmt.Errorf("%w: snapshot data overrun at %d", ErrCorruptLog, off)
+		}
+		s.Data = append([]byte(nil), p...)
+		out = append(out, s)
+		off += recordOverhead + payloadLen
+	}
+	return out, nil
+}
+
+// writeFileSync writes data to path via a temp file, fsyncs it, and
+// atomically renames it into place, then fsyncs the directory so the
+// rename itself is durable.
+func writeFileSync(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeManifest commits the manifest pointing at a snapshot file.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return writeFileSync(dir, "MANIFEST", append(data, '\n'))
+}
+
+// loadLatestSnapshot finds the newest fully-valid snapshot: the
+// manifest's choice first, then any snap-* file in descending LSN
+// order (damage to the latest must not lose the store — an older
+// snapshot plus a longer WAL replay is still correct, because replay
+// skips records each sketch already contains).
+func loadLatestSnapshot(dir string, logf func(string, ...any)) (snaps []SketchSnap, lsn uint64, ok bool) {
+	tried := map[string]bool{}
+	try := func(name string, manifestLSN uint64) bool {
+		if name == "" || tried[name] {
+			return false
+		}
+		tried[name] = true
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			logf("durable: snapshot %s unreadable: %v", name, err)
+			return false
+		}
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			logf("durable: snapshot %s invalid: %v", name, err)
+			return false
+		}
+		snaps, lsn, ok = s, manifestLSN, true
+		return true
+	}
+
+	if mdata, err := os.ReadFile(manifestPath(dir)); err == nil {
+		var m manifest
+		if json.Unmarshal(mdata, &m) == nil && m.Version == 1 {
+			if try(m.Snapshot, m.LSN) {
+				return snaps, lsn, true
+			}
+		} else {
+			logf("durable: MANIFEST unreadable, scanning snapshots")
+		}
+	}
+	for _, name := range listByPrefixDesc(dir, "snap-", ".snap") {
+		if try(name, snapLSNFromName(name)) {
+			return snaps, lsn, true
+		}
+	}
+	return nil, 0, false
+}
+
+// snapLSNFromName recovers the cut LSN embedded in a snapshot file
+// name (used only when the manifest is lost).
+func snapLSNFromName(name string) uint64 {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+	n, _ := strconv.ParseUint(s, 10, 64)
+	return n
+}
+
+func walSeqFromName(name string) uint64 {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	n, _ := strconv.ParseUint(s, 10, 64)
+	return n
+}
+
+// listByPrefixDesc returns matching file names sorted descending;
+// listByPrefixAsc ascending. Zero-padded fixed-width numbering makes
+// lexical order numeric order.
+func listByPrefixDesc(dir, prefix, suffix string) []string {
+	names := listByPrefixAsc(dir, prefix, suffix)
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return names
+}
+
+func listByPrefixAsc(dir, prefix, suffix string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, prefix) && strings.HasSuffix(name, suffix) &&
+			!strings.Contains(name, ".tmp-") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

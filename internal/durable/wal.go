@@ -1,0 +1,185 @@
+// Package durable is sketchd's persistence subsystem: a write-ahead
+// log plus a snapshot store, designed so durability stays off the
+// ingest hot path (handlers append to a bounded queue; a background
+// syncer group-commits to disk) and crash recovery is never fatal
+// (torn or corrupt WAL tails are detected by CRC and truncated to the
+// last valid record).
+//
+// On-disk layout under the data directory:
+//
+//	wal-00000000000000000042.log   WAL segments (DUR1 format, ascending seq)
+//	snap-00000000000000000137.snap snapshot files (DSN1 format, named by LSN)
+//	MANIFEST                       JSON pointer {snapshot, lsn}, atomically renamed
+//
+// The WAL is the source of truth between snapshots: every mutating
+// server operation (create / ingest-batch / merge / delete) appends
+// one record carrying a globally monotonic LSN. A snapshot subsumes
+// every record whose LSN is at or below the per-sketch LSN it captures,
+// so after a snapshot commits the older WAL segments are deleted and
+// the log is effectively truncated at the snapshot LSN.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL segment file format (version 1):
+//
+//	header:  "DUR1" magic (4 bytes) + version byte
+//	records: u32 payload length
+//	         u32 CRC32C (Castagnoli) of the payload
+//	         payload:
+//	           u64 LSN (strictly increasing across the whole log)
+//	           u8  op (OpCreate/OpIngest/OpMerge/OpDelete)
+//	           u32 name length + name bytes
+//	           u32 body length + body bytes
+//
+// All integers little-endian. A record is valid only if its length
+// fits the remaining file, its CRC matches, its payload parses
+// exactly, and its LSN is strictly greater than the previous record's;
+// replay stops at the first violation (the valid prefix rule).
+const (
+	walMagic   = "DUR1"
+	walVersion = 1
+
+	// walHeaderLen is the segment header size (magic + version).
+	walHeaderLen = 5
+
+	// recordOverhead is the fixed per-record framing: length + CRC.
+	recordOverhead = 8
+
+	// MaxRecordBytes bounds one record's payload; anything larger is
+	// treated as corruption. It comfortably exceeds the server's 8 MiB
+	// request-body cap plus framing.
+	MaxRecordBytes = 16 << 20
+)
+
+// WAL operation codes. Append-only: never renumber.
+const (
+	OpCreate byte = iota + 1 // body: JSON CreateRequest
+	OpIngest                 // body: raw newline-delimited batch
+	OpMerge                  // body: peer MarshalBinary envelope
+	OpDelete                 // body: empty
+)
+
+// castagnoli is the CRC32C table used for every checksum in this
+// package (WAL records, snapshot records, recovery verification).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of data — exported so callers can
+// compare recovered sketch bytes against the recovery checksum.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// ErrCorruptLog marks an unreadable WAL prefix: a missing or foreign
+// segment header. A torn or corrupt *tail* is not an error — replay
+// just stops at the last valid record.
+var ErrCorruptLog = errors.New("durable: corrupt log")
+
+// Record is one WAL entry.
+type Record struct {
+	LSN  uint64
+	Op   byte
+	Name string
+	Body []byte
+}
+
+// WALHeader returns a fresh segment header.
+func WALHeader() []byte {
+	h := make([]byte, 0, walHeaderLen)
+	h = append(h, walMagic...)
+	return append(h, walVersion)
+}
+
+// AppendRecord encodes one record onto buf in the DUR1 framing and
+// returns the extended slice.
+func AppendRecord(buf []byte, r Record) []byte {
+	payloadLen := 8 + 1 + 4 + len(r.Name) + 4 + len(r.Body)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	crcAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // CRC placeholder
+	payloadAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, r.LSN)
+	buf = append(buf, r.Op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Name)))
+	buf = append(buf, r.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Body)))
+	buf = append(buf, r.Body...)
+	binary.LittleEndian.PutUint32(buf[crcAt:], Checksum(buf[payloadAt:]))
+	return buf
+}
+
+// parsePayload decodes a CRC-validated record payload. It must consume
+// the payload exactly; slop means a corrupt length field that happened
+// to checksum (impossible unless the CRC itself collided, but cheap to
+// reject).
+func parsePayload(p []byte) (Record, bool) {
+	if len(p) < 8+1+4 {
+		return Record{}, false
+	}
+	r := Record{LSN: binary.LittleEndian.Uint64(p), Op: p[8]}
+	p = p[9:]
+	nameLen := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if nameLen < 0 || nameLen > len(p)-4 {
+		return Record{}, false
+	}
+	r.Name = string(p[:nameLen])
+	p = p[nameLen:]
+	bodyLen := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if bodyLen != len(p) {
+		return Record{}, false
+	}
+	if r.Op < OpCreate || r.Op > OpDelete {
+		return Record{}, false
+	}
+	r.Body = p
+	return r, true
+}
+
+// ReplayLog scans one WAL segment's bytes, invoking fn for each valid
+// record in order, starting after lastLSN (records must be strictly
+// increasing; the first non-increasing, torn, or corrupt record ends
+// the valid prefix — replay never applies anything past it, so a
+// bit-flip can only cost the tail, never invent state). It returns the
+// byte length of the valid prefix, the last LSN seen, and an error only
+// if the header itself is unreadable or fn failed; tail damage is not
+// an error.
+//
+// Record bodies passed to fn alias data and must not be retained.
+func ReplayLog(data []byte, lastLSN uint64, fn func(Record) error) (consumed int, last uint64, err error) {
+	last = lastLSN
+	if len(data) < walHeaderLen || string(data[:4]) != walMagic {
+		return 0, last, fmt.Errorf("%w: bad segment header", ErrCorruptLog)
+	}
+	if data[4] == 0 || data[4] > walVersion {
+		return 0, last, fmt.Errorf("%w: segment version %d, support <= %d", ErrCorruptLog, data[4], walVersion)
+	}
+	off := walHeaderLen
+	for {
+		if len(data)-off < recordOverhead {
+			return off, last, nil // clean EOF or torn framing
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		if payloadLen > MaxRecordBytes || payloadLen > len(data)-off-recordOverhead {
+			return off, last, nil // implausible or torn record
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+recordOverhead : off+recordOverhead+payloadLen]
+		if Checksum(payload) != wantCRC {
+			return off, last, nil // corrupt record: stop at last valid LSN
+		}
+		rec, ok := parsePayload(payload)
+		if !ok || rec.LSN <= last {
+			return off, last, nil
+		}
+		if err := fn(rec); err != nil {
+			return off, last, err
+		}
+		last = rec.LSN
+		off += recordOverhead + payloadLen
+	}
+}

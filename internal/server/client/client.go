@@ -131,6 +131,15 @@ func (c *Client) Types() ([]server.TypeInfo, error) {
 	return out.Types, nil
 }
 
+// Status fetches GET /v1/status: uptime, op counters, and the
+// durability gauges (WAL LSN, last snapshot LSN, WAL bytes, fsync
+// age; Durability.Enabled is false on an in-memory-only server).
+func (c *Client) Status() (server.StatusResponse, error) {
+	var out server.StatusResponse
+	err := c.get(c.base+"/v1/status", &out)
+	return out, err
+}
+
 // Statsz fetches the server's operation counters.
 func (c *Client) Statsz() (server.Statsz, error) {
 	var out server.Statsz

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/durable"
+)
+
+// EnableDurability attaches a write-ahead log + snapshot store under
+// dir: it recovers any previous state into the namespace (latest valid
+// snapshot, then the WAL tail), then starts the background syncer so
+// every subsequent create/ingest/merge/delete is logged off the hot
+// path. Call before serving traffic; pair with CloseDurability on
+// shutdown.
+//
+// With durability enabled, mutations on one sketch serialize on that
+// sketch's WAL lock (apply + append + LSN bookkeeping must be atomic
+// per sketch for snapshot consistency); cross-sketch concurrency and
+// the durability-off fast path are unchanged.
+func (s *Server) EnableDurability(dir string, opts durable.Options) (durable.RecoveryStats, error) {
+	if s.dur != nil {
+		return durable.RecoveryStats{}, fmt.Errorf("server: durability already enabled")
+	}
+	m, err := durable.Open(dir, opts)
+	if err != nil {
+		return durable.RecoveryStats{}, err
+	}
+	stats, err := m.Recover(&replayer{s: s})
+	if err != nil {
+		return stats, err
+	}
+	if err := m.Start(s.captureAll); err != nil {
+		return stats, err
+	}
+	s.dur = m
+	return stats, nil
+}
+
+// CloseDurability flushes the WAL, writes a final snapshot, and stops
+// the durability subsystem. Stop the HTTP listener first so no handler
+// is mid-append.
+func (s *Server) CloseDurability() error {
+	if s.dur == nil {
+		return nil
+	}
+	err := s.dur.Close()
+	s.dur = nil
+	return err
+}
+
+// DurabilityStatus reports the durability gauges (zero-valued Enabled
+// false when the server runs in-memory only).
+func (s *Server) DurabilityStatus() durable.Status {
+	if s.dur == nil {
+		return durable.Status{}
+	}
+	return s.dur.Status()
+}
+
+// captureAll is the snapshot capture callback: it serializes every
+// live sketch under its WAL lock, pairing the bytes with the last LSN
+// already folded into them. Sketches that fail to serialize are
+// skipped (they remain recoverable only until the WAL truncates, which
+// cannot happen for registry families — all of them marshal).
+func (s *Server) captureAll() []durable.SketchSnap {
+	entries := s.reg.snapshot()
+	out := make([]durable.SketchSnap, 0, len(entries))
+	for _, ne := range entries {
+		ne.walMu.Lock()
+		data, err := ne.entry.Snapshot()
+		lsn := ne.lastLSN
+		ne.walMu.Unlock()
+		if err != nil {
+			continue
+		}
+		req, err := json.Marshal(ne.entry.CreateReq())
+		if err != nil {
+			continue
+		}
+		out = append(out, durable.SketchSnap{Name: ne.name, Req: req, LastLSN: lsn, Data: data})
+	}
+	return out
+}
+
+// replayer applies recovered state to the server namespace. Skip
+// rules make recovery exact without any replay-time deduplication
+// state: a snapshot at cut LSN M subsumes every create/delete at or
+// below M (the namespace it captured already reflects them) and every
+// ingest/merge at or below the owning sketch's LastLSN (the captured
+// bytes already contain them).
+type replayer struct {
+	s       *Server
+	snapLSN uint64
+}
+
+func (r *replayer) Begin(snapLSN uint64) error {
+	r.snapLSN = snapLSN
+	return nil
+}
+
+func (r *replayer) RestoreSketch(sn durable.SketchSnap) error {
+	var req CreateRequest
+	if err := json.Unmarshal(sn.Req, &req); err != nil {
+		return fmt.Errorf("create request: %w", err)
+	}
+	entry, err := RestoreEntry(req, sn.Data)
+	if err != nil {
+		return err
+	}
+	ne, err := r.s.reg.create(sn.Name, entry)
+	if err != nil {
+		return err
+	}
+	ne.lastLSN = sn.LastLSN
+	return nil
+}
+
+func (r *replayer) Replay(rec durable.Record) error {
+	switch rec.Op {
+	case durable.OpCreate:
+		if rec.LSN <= r.snapLSN {
+			return nil // the snapshot namespace already reflects it
+		}
+		if _, err := r.s.reg.get(rec.Name); err == nil {
+			return nil // already restored from the snapshot
+		}
+		var req CreateRequest
+		if err := json.Unmarshal(rec.Body, &req); err != nil {
+			return err
+		}
+		entry, err := NewEntry(req)
+		if err != nil {
+			return err
+		}
+		ne, err := r.s.reg.create(rec.Name, entry)
+		if err != nil {
+			return err
+		}
+		ne.lastLSN = rec.LSN
+	case durable.OpIngest:
+		ne, err := r.s.reg.get(rec.Name)
+		if err != nil {
+			return nil // deleted later in the log, or never created: skip
+		}
+		if rec.LSN <= ne.lastLSN {
+			return nil // already inside the recovered bytes
+		}
+		if err := ne.entry.Add(SplitBatch(rec.Body)); err != nil {
+			return err
+		}
+		ne.lastLSN = rec.LSN
+	case durable.OpMerge:
+		ne, err := r.s.reg.get(rec.Name)
+		if err != nil {
+			return nil
+		}
+		if rec.LSN <= ne.lastLSN {
+			return nil
+		}
+		if err := ne.entry.Merge(rec.Body); err != nil {
+			return err
+		}
+		ne.lastLSN = rec.LSN
+	case durable.OpDelete:
+		if rec.LSN <= r.snapLSN {
+			return nil
+		}
+		r.s.reg.remove(rec.Name)
+	default:
+		return fmt.Errorf("unknown WAL op %d", rec.Op)
+	}
+	return nil
+}

@@ -32,12 +32,20 @@ type registryStripe struct {
 	m  map[string]*namedEntry
 }
 
-// namedEntry pairs an Entry with its registry metadata and per-sketch
-// ingest counter (surfaced on /debug/statsz).
+// namedEntry pairs an Entry with its registry metadata, per-sketch
+// ingest counter (surfaced on /debug/statsz), and durability
+// bookkeeping. When durability is enabled, walMu makes "apply to
+// memory + append to WAL + record the LSN" atomic per sketch, and the
+// snapshot capture takes the same lock — so a captured sketch's bytes
+// provably include every WAL record at or below its lastLSN, which is
+// exactly the replay skip rule.
 type namedEntry struct {
 	name  string
 	entry *Entry
 	adds  core.Counter
+
+	walMu   sync.Mutex
+	lastLSN uint64 // guarded by walMu (recovery writes it single-threaded)
 }
 
 func newRegistry() *registry {
@@ -67,15 +75,16 @@ func (r *registry) get(name string) (*namedEntry, error) {
 }
 
 // create installs a new entry, failing if the name is taken.
-func (r *registry) create(name string, entry *Entry) error {
+func (r *registry) create(name string, entry *Entry) (*namedEntry, error) {
 	s := r.stripeFor(name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.m[name]; ok {
-		return fmt.Errorf("%w: %q", ErrExists, name)
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	s.m[name] = &namedEntry{name: name, entry: entry}
-	return nil
+	ne := &namedEntry{name: name, entry: entry}
+	s.m[name] = ne
+	return ne, nil
 }
 
 // remove deletes the named entry, reporting whether it existed.

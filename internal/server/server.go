@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	typereg "repro/internal/registry"
 )
 
@@ -55,6 +56,11 @@ type Server struct {
 	bufPool   sync.Pool // *[]byte request-body buffers
 	itemsPool sync.Pool // *[][]byte split-batch item headers
 	mux       *http.ServeMux
+
+	// dur, when non-nil, logs every mutation to the write-ahead log
+	// (see EnableDurability). nil keeps the original in-memory-only
+	// behavior and the allocation-free ingest fast path.
+	dur *durable.Manager
 }
 
 // New creates an empty server.
@@ -80,6 +86,7 @@ func New() *Server {
 	s.mux.HandleFunc("DELETE /v1/sketch/{name}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/sketch", s.handleList)
 	s.mux.HandleFunc("GET /v1/types", s.handleTypes)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /debug/statsz", s.handleStatsz)
 	return s
 }
@@ -138,9 +145,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.reg.create(name, entry); err != nil {
+	ne, err := s.reg.create(name, entry)
+	if err != nil {
 		httpError(w, http.StatusConflict, "%v", err)
 		return
+	}
+	if s.dur != nil {
+		ne.walMu.Lock()
+		ne.lastLSN = s.dur.Append(durable.OpCreate, name, body)
+		ne.walMu.Unlock()
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "type": entry.Type()})
 }
@@ -165,7 +178,23 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		*ip = items[:0]
 		s.itemsPool.Put(ip)
 	}()
-	if err := e.entry.Add(items); err != nil {
+	// Durable path: apply + WAL append + LSN bookkeeping are atomic
+	// under the per-sketch WAL lock so a concurrent snapshot capture
+	// sees bytes consistent with the recorded LSN. The append itself
+	// only copies the batch into the bounded queue; disk I/O and fsync
+	// happen on the background syncer, off this path.
+	if s.dur != nil {
+		e.walMu.Lock()
+		err := e.entry.Add(items)
+		if err == nil {
+			e.lastLSN = s.dur.Append(durable.OpIngest, e.name, body)
+		}
+		e.walMu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else if err := e.entry.Add(items); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -200,7 +229,18 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	if err := e.entry.Merge(body); err != nil {
+	var err error
+	if s.dur != nil {
+		e.walMu.Lock()
+		err = e.entry.Merge(body)
+		if err == nil {
+			e.lastLSN = s.dur.Append(durable.OpMerge, e.name, body)
+		}
+		e.walMu.Unlock()
+	} else {
+		err = e.entry.Merge(body)
+	}
+	if err != nil {
 		// Incompatible shapes are a semantic conflict; a non-mergeable
 		// family is a capability gap; corrupt bytes are a malformed
 		// request.
@@ -239,6 +279,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.reg.remove(name) {
 		httpError(w, http.StatusNotFound, "no such sketch %q", name)
 		return
+	}
+	if s.dur != nil {
+		s.dur.Append(durable.OpDelete, name, nil)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }
@@ -294,6 +337,25 @@ func (s *Server) handleTypes(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"types": out})
+}
+
+// StatusResponse is the GET /v1/status document: liveness plus the
+// durability gauges (wal_lsn, last_snapshot_lsn, wal_bytes,
+// last_fsync_age_ms; enabled=false when running in-memory only).
+type StatusResponse struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Sketches      int             `json:"sketches"`
+	Ops           core.OpSnapshot `json:"ops"`
+	Durability    durable.Status  `json:"durability"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatusResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Sketches:      len(s.reg.snapshot()),
+		Ops:           s.ops.Snapshot(),
+		Durability:    s.DurabilityStatus(),
+	})
 }
 
 // SketchStat is one sketch's row on /debug/statsz.

@@ -3,6 +3,17 @@
 # microbenchmark suite via sketchbench and write the JSON report at the
 # repo root. Extra arguments pass through (e.g. -benchtime 100ms for a
 # quick smoke run, -benchout - for stdout).
+#
+# With -run as the first argument the script runs sketchbench in
+# experiment mode instead — `scripts/bench.sh -run E27` measures
+# durable-sketchd ingest throughput at each fsync policy against the
+# in-memory baseline (EXPERIMENTS.md E27); `scripts/bench.sh -run E25`
+# is the in-memory loadgen.
 set -eu
 cd "$(dirname "$0")/.."
+case "${1:-}" in
+-run)
+	exec go run ./cmd/sketchbench "$@"
+	;;
+esac
 exec go run ./cmd/sketchbench -bench "$@"
