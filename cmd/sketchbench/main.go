@@ -14,10 +14,14 @@
 //
 // Benchmark mode runs the internal/benchrun hot-path microbenchmark
 // suite (the same code `go test -bench Hot` runs) and writes the
-// results as JSON — the committed BENCH_1.json is produced this way:
+// results as JSON — the committed BENCH_*.json trajectory files are
+// produced this way (BENCH_2.json is current; BENCH_1.json is the
+// pre-layout-work baseline):
 //
-//	sketchbench -bench                              # 1s per benchmark, writes BENCH_1.json
+//	sketchbench -bench                              # 1s per benchmark, writes BENCH_2.json
 //	sketchbench -bench -benchtime 100ms -benchout - # quick run to stdout
+//
+// Compare two reports with cmd/benchdiff (scripts/benchdiff.sh).
 package main
 
 import (
@@ -38,7 +42,7 @@ func main() {
 	sketchd := flag.String("sketchd", "", "base URL of a running sketchd for the E25 loadgen (default: in-process)")
 	bench := flag.Bool("bench", false, "run hot-path microbenchmarks instead of experiments")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measuring time in -bench mode")
-	benchout := flag.String("benchout", "BENCH_1.json", "output path for -bench JSON results (- for stdout)")
+	benchout := flag.String("benchout", "BENCH_2.json", "output path for -bench JSON results (- for stdout)")
 	testing.Init() // registers test.benchtime, which drives testing.Benchmark
 	flag.Parse()
 

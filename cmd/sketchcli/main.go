@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	sketch "repro"
+	"repro/internal/mergex"
 	"repro/internal/registry"
 )
 
@@ -288,7 +289,8 @@ func runInspect(args []string) error {
 // runMerge folds any number of same-type envelopes into one, writing
 // the merged envelope to -o (or stdout with "-"). Distributed
 // aggregation from the command line: each input self-describes, the
-// registry supplies the merge, incompatible inputs fail loudly.
+// registry supplies the merge, and the fold runs as a parallel binary
+// tree across GOMAXPROCS cores. Incompatible inputs fail loudly.
 func runMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	out := fs.String("o", "-", `output file ("-" for stdout)`)
@@ -298,34 +300,32 @@ func runMerge(args []string) error {
 	if fs.NArg() < 2 {
 		return fmt.Errorf("usage: sketchcli merge -o out.bin a.bin b.bin [...]")
 	}
-	data, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	dst, d, err := registry.Decode(data)
-	if err != nil {
-		return fmt.Errorf("%s: %v", fs.Arg(0), err)
-	}
-	if d.Bind.Merge == nil {
-		return fmt.Errorf("%s sketches do not merge", d.Name)
-	}
-	for _, path := range fs.Args()[1:] {
+	var d *registry.Descriptor
+	insts := make([]any, fs.NArg())
+	for i, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		src, sd, err := registry.Decode(data)
+		inst, id, err := registry.Decode(data)
 		if err != nil {
 			return fmt.Errorf("%s: %v", path, err)
 		}
-		if sd != d {
-			return fmt.Errorf("%s: is a %s, cannot merge into %s", path, sd.Name, d.Name)
+		if d == nil {
+			d = id
+			if d.Bind.Merge == nil {
+				return fmt.Errorf("%s sketches do not merge", d.Name)
+			}
+		} else if id != d {
+			return fmt.Errorf("%s: is a %s, cannot merge into %s", path, id.Name, d.Name)
 		}
-		if err := d.Bind.Merge(dst, src); err != nil {
-			return fmt.Errorf("%s: %v", path, err)
-		}
+		insts[i] = inst
 	}
-	env, err := registry.Marshal(dst)
+	merged, err := mergex.Tree(insts, d.Bind.Merge)
+	if err != nil {
+		return err
+	}
+	env, err := registry.Marshal(merged)
 	if err != nil {
 		return err
 	}

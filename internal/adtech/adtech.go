@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cardinality"
 	"repro/internal/hashx"
+	"repro/internal/mergex"
 	"repro/internal/randx"
 )
 
@@ -152,27 +153,43 @@ func (r *Reporter) RollupReach(campaign int, dim string) (float64, error) {
 	default:
 		return 0, fmt.Errorf("adtech: unknown dimension %q", dim)
 	}
-	merged := cardinality.NewHLL(r.precision, r.seed)
+	sketches := make([]*cardinality.HLL, 0, len(values))
 	for _, v := range values {
 		if h, ok := r.cells[cellKey(campaign, dim, v)]; ok {
-			if err := merged.Merge(h); err != nil {
-				return 0, err
-			}
+			sketches = append(sketches, h)
 		}
 	}
-	return merged.Estimate(), nil
+	return r.unionReach(sketches)
 }
 
 // CombinedReach estimates the distinct users reached by *any* of the
 // given campaigns (the cross-campaign dedup advertisers ask for).
 func (r *Reporter) CombinedReach(campaigns ...int) (float64, error) {
-	merged := cardinality.NewHLL(r.precision, r.seed)
+	sketches := make([]*cardinality.HLL, 0, len(campaigns))
 	for _, c := range campaigns {
 		if t, ok := r.total[c]; ok {
-			if err := merged.Merge(t); err != nil {
-				return 0, err
-			}
+			sketches = append(sketches, t)
 		}
+	}
+	return r.unionReach(sketches)
+}
+
+// unionReach estimates the union cardinality of the given sketches by
+// a parallel tree merge over clones (mergex.Tree mutates its inputs;
+// the reporter's cells must survive the roll-up). Lossless HLL merge
+// is associative, so the tree grouping returns exactly the serial
+// fold's registers.
+func (r *Reporter) unionReach(sketches []*cardinality.HLL) (float64, error) {
+	if len(sketches) == 0 {
+		return 0, nil
+	}
+	clones := make([]*cardinality.HLL, len(sketches))
+	for i, h := range sketches {
+		clones[i] = h.Clone()
+	}
+	merged, err := mergex.Tree(clones, (*cardinality.HLL).Merge)
+	if err != nil {
+		return 0, err
 	}
 	return merged.Estimate(), nil
 }

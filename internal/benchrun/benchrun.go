@@ -13,8 +13,10 @@ package benchrun
 
 import (
 	"encoding/json"
+	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/bloom"
@@ -79,6 +81,47 @@ func Benchmarks() []NamedBench {
 				f.Contains(keys[i&(keyCount-1)])
 			}
 		}},
+		{"BloomAddBatch", func(b *testing.B) {
+			f := bloom.NewWithEstimates(1_000_000, 0.01, 1)
+			keys := ByteKeys()
+			batch := keys[:1024]
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(batch) {
+				f.AddBatch(batch)
+			}
+		}},
+		{"BlockedBloomAdd", func(b *testing.B) {
+			f := bloom.NewBlockedWithEstimates(1_000_000, 0.01, 1)
+			keys := ByteKeys()
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Add(keys[i&(keyCount-1)])
+			}
+		}},
+		{"BlockedBloomContains", func(b *testing.B) {
+			f := bloom.NewBlockedWithEstimates(1_000_000, 0.01, 1)
+			keys := ByteKeys()
+			for _, k := range keys {
+				f.Add(k)
+			}
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Contains(keys[i&(keyCount-1)])
+			}
+		}},
+		{"BlockedBloomAddBatch", func(b *testing.B) {
+			f := bloom.NewBlockedWithEstimates(1_000_000, 0.01, 1)
+			keys := ByteKeys()
+			batch := keys[:1024]
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(batch) {
+				f.AddBatch(batch)
+			}
+		}},
 		{"BloomAddString", func(b *testing.B) {
 			f := bloom.NewWithEstimates(1_000_000, 0.01, 1)
 			keys := StringKeys()
@@ -112,6 +155,38 @@ func Benchmarks() []NamedBench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cm.AddString(keys[i&(keyCount-1)])
+			}
+		}},
+		{"CountMinFusedAddUint64", func(b *testing.B) {
+			cm := frequency.NewCountMinFused(2048, 5, 1)
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cm.AddUint64(uint64(i), 1)
+			}
+		}},
+		{"CountMinAddHashBatch", func(b *testing.B) {
+			cm := frequency.NewCountMin(2048, 5, 1)
+			hs := make([]uint64, 1024)
+			for i := range hs {
+				hs[i] = hashx.HashUint64(uint64(i), 1)
+			}
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(hs) {
+				cm.AddHashBatch(hs)
+			}
+		}},
+		{"CountMinFusedAddHashBatch", func(b *testing.B) {
+			cm := frequency.NewCountMinFused(2048, 5, 1)
+			hs := make([]uint64, 1024)
+			for i := range hs {
+				hs[i] = hashx.HashUint64(uint64(i), 1)
+			}
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(hs) {
+				cm.AddHashBatch(hs)
 			}
 		}},
 		{"CountMinKWiseAddUint64", func(b *testing.B) {
@@ -234,14 +309,47 @@ type Result struct {
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
 }
 
-// Report is the BENCH_*.json document.
+// Report is the BENCH_*.json document. Schema 2 adds the host
+// description (cpu_model, cache_line_bytes) so a reader comparing two
+// reports can tell a code regression from a machine change — ns/op
+// across different CPU models is not a diff, it's two experiments.
 type Report struct {
-	Schema     int      `json:"schema"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Results    []Result `json:"results"`
+	Schema         int      `json:"schema"`
+	GoVersion      string   `json:"go_version"`
+	GOOS           string   `json:"goos"`
+	GOARCH         string   `json:"goarch"`
+	GOMAXPROCS     int      `json:"gomaxprocs"`
+	CPUModel       string   `json:"cpu_model,omitempty"`
+	CacheLineBytes int      `json:"cache_line_bytes,omitempty"`
+	Results        []Result `json:"results"`
+}
+
+// hostCPUModel reads the CPU model name from /proc/cpuinfo. Empty on
+// non-Linux hosts or unreadable procfs — the field is omitempty.
+func hostCPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// hostCacheLineBytes reads the L1 line size from sysfs, falling back
+// to 64 — the line size on every x86-64 and almost every aarch64 part,
+// and the constant the blocked layouts are designed around.
+func hostCacheLineBytes() int {
+	data, err := os.ReadFile("/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size")
+	if err == nil {
+		if n, err := strconv.Atoi(strings.TrimSpace(string(data))); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 64
 }
 
 // Run executes the whole suite with testing.Benchmark and collects the
@@ -250,11 +358,13 @@ type Report struct {
 // test.benchtime flag (see cmd/sketchbench).
 func Run(progress func(name string)) Report {
 	rep := Report{
-		Schema:     1,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Schema:         2,
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		CPUModel:       hostCPUModel(),
+		CacheLineBytes: hostCacheLineBytes(),
 	}
 	for _, nb := range Benchmarks() {
 		if progress != nil {

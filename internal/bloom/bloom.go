@@ -95,11 +95,45 @@ func (f *Filter) AddString(item string) {
 	f.AddHash(h1, h2)
 }
 
-// AddBatch inserts many items. State after AddBatch is byte-identical
-// to calling Add on each item in order.
+// ingestChunk is the chunk size of the two-phase batch loops: hash a
+// chunk, then update from it. 256 pairs keep the staging arrays on the
+// stack (~4 KB) while giving the memory system a long run of
+// independent accesses to overlap; the same figure is used by every
+// pipelined batch path in the module.
+const ingestChunk = 256
+
+// AddBatch inserts many items with the two-phase pipelined loop: each
+// fixed-size chunk is fully hashed first (pure ALU work), then folded
+// into the bit array (pure memory work), so consecutive cache misses
+// overlap instead of each item's miss serializing behind its hash.
+// State after AddBatch is byte-identical to calling Add on each item
+// in order.
 func (f *Filter) AddBatch(items [][]byte) {
-	for _, item := range items {
-		f.Add(item)
+	var h1s, h2s [ingestChunk]uint64
+	for len(items) > 0 {
+		c := len(items)
+		if c > ingestChunk {
+			c = ingestChunk
+		}
+		for i, item := range items[:c] {
+			h1s[i], h2s[i] = hashx.Murmur3_128(item, f.seed)
+		}
+		f.AddHashBatch(h1s[:c], h2s[:c])
+		items = items[c:]
+	}
+}
+
+// AddHashBatch folds many pre-hashed items in. State is identical to
+// calling AddHash on each (h1,h2) pair in order; both slices must have
+// equal length. Bit-set operations are commutative, so the loop is
+// free to let the k probes of consecutive items overlap in the memory
+// system.
+func (f *Filter) AddHashBatch(h1s, h2s []uint64) {
+	if len(h1s) != len(h2s) {
+		panic("bloom: AddHashBatch slice lengths differ")
+	}
+	for i, h1 := range h1s {
+		f.AddHash(h1, h2s[i])
 	}
 }
 

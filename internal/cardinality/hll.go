@@ -72,20 +72,57 @@ func (h *HLL) AddString(s string) {
 	h.AddHash(h1)
 }
 
-// AddBatch inserts many items. State after AddBatch is byte-identical
-// to calling Add on each item in order.
+// ingestChunk is the chunk size of the two-phase batch loops: hash (or
+// derive) a whole chunk first, then update from it, keeping the staging
+// arrays on the stack while independent register accesses overlap.
+const ingestChunk = 256
+
+// AddBatch inserts many items with the two-phase pipelined loop: each
+// fixed-size chunk is fully hashed first, then folded into the
+// registers. State after AddBatch is byte-identical to calling Add on
+// each item in order.
 func (h *HLL) AddBatch(items [][]byte) {
-	for _, item := range items {
-		h.Add(item)
+	var hs [ingestChunk]uint64
+	for len(items) > 0 {
+		c := len(items)
+		if c > ingestChunk {
+			c = ingestChunk
+		}
+		for i, item := range items[:c] {
+			hs[i], _ = hashx.Murmur3_128(item, h.seed)
+		}
+		h.AddHashBatch(hs[:c])
+		items = items[c:]
 	}
 }
 
 // AddHashBatch folds many pre-hashed values in, hash-once pipelines'
-// batch entry point. State is byte-identical to calling AddHash per
+// batch entry point. The loop is two-phase over fixed chunks: phase 1
+// derives every value's register index and rank (pure ALU — shift,
+// count-leading-zeros), phase 2 streams the register max-updates, so
+// consecutive packed-register accesses overlap. Register max is
+// commutative, so state is byte-identical to calling AddHash per
 // value.
 func (h *HLL) AddHashBatch(hs []uint64) {
-	for _, x := range hs {
-		h.AddHash(x)
+	var idxs [ingestChunk]int32
+	var ranks [ingestChunk]uint8
+	p := h.p
+	for start := 0; start < len(hs); start += ingestChunk {
+		end := start + ingestChunk
+		if end > len(hs) {
+			end = len(hs)
+		}
+		chunk := hs[start:end]
+		for i, x := range chunk {
+			idxs[i] = int32(x >> (64 - p))
+			ranks[i] = uint8(bits.LeadingZeros64(x<<p|1<<(p-1))) + 1
+		}
+		for i := range chunk {
+			idx := int(idxs[i])
+			if ranks[i] > h.getRegister(idx) {
+				h.setRegister(idx, ranks[i])
+			}
+		}
 	}
 }
 
@@ -164,6 +201,11 @@ func (h *HLL) StandardError() float64 {
 
 // P returns the precision parameter.
 func (h *HLL) P() uint8 { return h.p }
+
+// Seed returns the hash seed. Wrappers that hash outside a lock (the
+// concurrent sharded handle) need it to produce the same item→hash map
+// as Add.
+func (h *HLL) Seed() uint64 { return h.seed }
 
 // M returns the register count 2^p.
 func (h *HLL) M() int { return 1 << h.p }

@@ -1,0 +1,106 @@
+package concurrent
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/hashx"
+)
+
+func blockedKey(i int) []byte { return hashx.Uint64Bytes(uint64(i)) }
+
+func TestAtomicBlockedBloomMatchesSerial(t *testing.T) {
+	// The atomic wrapper must address exactly the bits the plain
+	// blocked filter does: after the same inserts, Snapshot() is
+	// byte-identical to the serial filter.
+	const n = 5000
+	ref := bloom.NewBlocked(1<<16, 6, 3)
+	af := NewAtomicBlockedBloom(1<<16, 6, 3)
+	for i := 0; i < n; i++ {
+		ref.Add(blockedKey(i))
+		af.Add(blockedKey(i))
+	}
+	a, _ := ref.MarshalBinary()
+	b, _ := af.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("atomic snapshot differs from serial blocked filter")
+	}
+	for i := 0; i < n; i++ {
+		if !af.Contains(blockedKey(i)) {
+			t.Fatalf("false negative for key %d", i)
+		}
+		if !af.ContainsString(string(blockedKey(i))) {
+			t.Fatalf("string false negative for key %d", i)
+		}
+	}
+}
+
+func TestAtomicBlockedBloomConcurrentAdds(t *testing.T) {
+	// Bit-OR inserts commute, so racing writers must land on the same
+	// final state as one serial writer — and no completed insert may be
+	// lost (the CAS loop's no-false-negative guarantee).
+	const (
+		writers = 8
+		perW    = 4000
+	)
+	ref := bloom.NewBlocked(1<<18, 5, 9)
+	for i := 0; i < writers*perW; i++ {
+		ref.Add(blockedKey(i))
+	}
+	af := NewAtomicBlockedBloom(1<<18, 5, 9)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			items := make([][]byte, perW)
+			for i := range items {
+				items[i] = blockedKey(w*perW + i)
+			}
+			// Half through the batch pipeline, half scalar, to race
+			// both code paths.
+			af.AddBatch(items[:perW/2])
+			for _, it := range items[perW/2:] {
+				af.Add(it)
+			}
+		}(w)
+	}
+	wg.Wait()
+	a, _ := ref.MarshalBinary()
+	b, _ := af.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("concurrent adds diverged from serial reference")
+	}
+	if af.N() != writers*perW {
+		t.Fatalf("N() = %d, want %d", af.N(), writers*perW)
+	}
+}
+
+func TestAtomicBlockedBloomMerge(t *testing.T) {
+	af := NewAtomicBlockedBloom(1<<15, 5, 4)
+	other := bloom.NewBlocked(1<<15, 5, 4)
+	for i := 0; i < 1000; i++ {
+		other.Add(blockedKey(i))
+	}
+	if err := af.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !af.Contains(blockedKey(i)) {
+			t.Fatalf("merged key %d missing", i)
+		}
+	}
+	for _, bad := range []*bloom.BlockedFilter{
+		bloom.NewBlocked(1<<16, 5, 4), // blocks
+		bloom.NewBlocked(1<<15, 4, 4), // k
+		bloom.NewBlocked(1<<15, 5, 5), // seed
+	} {
+		if err := af.Merge(bad); !errors.Is(err, core.ErrIncompatible) {
+			t.Errorf("mismatched merge: err = %v, want ErrIncompatible", err)
+		}
+	}
+}

@@ -109,16 +109,25 @@ func (h *HLLHandle) AddBatchUint64(vs []uint64) {
 	h.slot.mu.Unlock()
 }
 
-// AddBatch inserts many byte-slice items under one lock acquisition.
-// Items are hashed before insertion and may be reused by the caller
-// after the call returns.
+// AddBatch inserts many byte-slice items in fixed-size chunks: each
+// chunk is fully hashed *outside* the lock (pure ALU work other
+// goroutines never wait on), then folded in under one acquisition via
+// the two-phase AddHashBatch. Items may be reused by the caller after
+// the call returns; state is identical to per-item Add.
 func (h *HLLHandle) AddBatch(items [][]byte) {
-	h.slot.mu.Lock()
-	for _, item := range items {
-		h.slot.hll.Add(item)
+	var hs [atomicIngestChunk]uint64
+	seed := h.slot.hll.Seed()
+	for len(items) > 0 {
+		c := len(items)
+		if c > atomicIngestChunk {
+			c = atomicIngestChunk
+		}
+		for i, item := range items[:c] {
+			hs[i], _ = hashx.Murmur3_128(item, seed)
+		}
+		h.AddHashBatch(hs[:c])
+		items = items[c:]
 	}
-	h.slot.version.Add(uint64(len(items)))
-	h.slot.mu.Unlock()
 }
 
 // AddHashBatch folds many pre-hashed values in under one lock
@@ -237,10 +246,12 @@ func (s *ShardedHLL) SizeBytes() int {
 // identical bucket addressing, which is what makes Merge and Snapshot
 // exchanges with the plain sketch exact.
 type AtomicCountMin struct {
-	counts []atomic.Uint64 // depth × width, row-major
+	counts []atomic.Uint64 // depth × width: row-major, or fused block order
 	width  int
 	depth  int
+	blocks uint64 // fused mode: 8-counter blocks per row (width/8)
 	seed   uint64
+	fused  bool
 	n      atomic.Uint64
 }
 
@@ -254,6 +265,24 @@ func NewAtomicCountMin(width, depth int, seed uint64) *AtomicCountMin {
 		width:  width,
 		depth:  depth,
 		seed:   seed,
+	}
+}
+
+// NewAtomicCountMinFused creates an atomic Count-Min in the fused
+// cache-line layout, addressing exactly the same cells as
+// frequency.NewCountMinFused with equal shape and seed (which is what
+// keeps Merge and Snapshot exchanges with the plain fused sketch
+// exact). Width is rounded up to a multiple of 8; depth is capped at
+// 21, mirroring the plain constructor.
+func NewAtomicCountMinFused(width, depth int, seed uint64) *AtomicCountMin {
+	shape := frequency.NewCountMinFused(width, depth, seed) // reuse sizing + validation
+	return &AtomicCountMin{
+		counts: make([]atomic.Uint64, shape.Width()*shape.Depth()),
+		width:  shape.Width(),
+		depth:  shape.Depth(),
+		blocks: uint64(shape.Width() / 8),
+		seed:   seed,
+		fused:  true,
 	}
 }
 
@@ -282,6 +311,16 @@ func (c *AtomicCountMin) AddString(item string, weight uint64) {
 // frequency.CountMin.AddHash in derived mode. Wait-free: one atomic add
 // per row.
 func (c *AtomicCountMin) AddHash(h, weight uint64) {
+	if c.fused {
+		base, slots := c.fusedBase(h)
+		for r := 0; r < c.depth; r++ {
+			c.counts[base+slots&7].Add(weight)
+			base += 8
+			slots >>= 3
+		}
+		c.n.Add(weight)
+		return
+	}
 	h2 := hashx.DeriveH2(h)
 	w := uint64(c.width)
 	x := h
@@ -292,12 +331,59 @@ func (c *AtomicCountMin) AddHash(h, weight uint64) {
 	c.n.Add(weight)
 }
 
+// fusedBase mirrors frequency.CountMin's fused addressing: the flat
+// index of row 0's cache line in the block column h selects, and the
+// slot word whose 3-bit chunks pick each row's cell.
+func (c *AtomicCountMin) fusedBase(h uint64) (base, slots uint64) {
+	return hashx.FastRange(h, c.blocks) * uint64(c.depth) * 8,
+		hashx.Mix64(hashx.DeriveH2(h))
+}
+
+// atomicIngestChunk is the chunk size of AddHashBatch's two-phase
+// loop; see the frequency package's ingestChunk.
+const atomicIngestChunk = 256
+
 // AddHashBatch folds many pre-hashed items in, each with weight 1 —
-// the hash-once batch entry point for ingest pipelines. State is
-// identical to calling AddHash per value.
+// the hash-once batch entry point for ingest pipelines. The loop is
+// two-phase over fixed chunks: phase 1 derives every item's addressing
+// state (pure ALU), phase 2 streams the atomic adds, so independent
+// cache misses overlap. Atomic adds commute, so state is identical to
+// calling AddHash per value.
 func (c *AtomicCountMin) AddHashBatch(hs []uint64) {
-	for _, h := range hs {
-		c.AddHash(h, 1)
+	var xs, h2s [atomicIngestChunk]uint64
+	w := uint64(c.width)
+	for start := 0; start < len(hs); start += atomicIngestChunk {
+		end := start + atomicIngestChunk
+		if end > len(hs) {
+			end = len(hs)
+		}
+		chunk := hs[start:end]
+		if c.fused {
+			for i, h := range chunk {
+				xs[i], h2s[i] = c.fusedBase(h)
+			}
+			for i := range chunk {
+				base, slots := xs[i], h2s[i]
+				for r := 0; r < c.depth; r++ {
+					c.counts[base+slots&7].Add(1)
+					base += 8
+					slots >>= 3
+				}
+			}
+		} else {
+			for i, h := range chunk {
+				xs[i] = h
+				h2s[i] = hashx.DeriveH2(h)
+			}
+			for r := 0; r < c.depth; r++ {
+				row := c.counts[r*c.width : (r+1)*c.width]
+				for i := range chunk {
+					row[hashx.FastRange(xs[i], w)].Add(1)
+					xs[i] += h2s[i]
+				}
+			}
+		}
+		c.n.Add(uint64(len(chunk)))
 	}
 }
 
@@ -313,6 +399,18 @@ func (c *AtomicCountMin) EstimateUint64(item uint64) uint64 {
 }
 
 func (c *AtomicCountMin) estimateHash(h uint64) uint64 {
+	if c.fused {
+		base, slots := c.fusedBase(h)
+		est := ^uint64(0)
+		for r := 0; r < c.depth; r++ {
+			if v := c.counts[base+slots&7].Load(); v < est {
+				est = v
+			}
+			base += 8
+			slots >>= 3
+		}
+		return est
+	}
 	h2 := hashx.DeriveH2(h)
 	w := uint64(c.width)
 	est := ^uint64(0)
@@ -338,6 +436,9 @@ func (c *AtomicCountMin) Depth() int { return c.depth }
 // Seed returns the hash seed.
 func (c *AtomicCountMin) Seed() uint64 { return c.seed }
 
+// Fused reports whether counters live in the fused cache-line layout.
+func (c *AtomicCountMin) Fused() bool { return c.fused }
+
 // SizeBytes returns the counter storage size.
 func (c *AtomicCountMin) SizeBytes() int { return len(c.counts) * 8 }
 
@@ -355,6 +456,9 @@ func (c *AtomicCountMin) compatibleWith(other *frequency.CountMin) error {
 	}
 	if other.Conservative() {
 		return fmt.Errorf("%w: conservative-update sketches are not mergeable", core.ErrIncompatible)
+	}
+	if other.Fused() != c.fused {
+		return fmt.Errorf("%w: count-min layouts differ (fused vs row-major)", core.ErrIncompatible)
 	}
 	return nil
 }
@@ -385,7 +489,13 @@ func (c *AtomicCountMin) Snapshot() *frequency.CountMin {
 	for i := range c.counts {
 		counts[i] = c.counts[i].Load()
 	}
-	cm, err := frequency.NewCountMinFromCounts(c.width, c.depth, c.seed, counts, c.n.Load())
+	var cm *frequency.CountMin
+	var err error
+	if c.fused {
+		cm, err = frequency.NewCountMinFusedFromCounts(c.width, c.depth, c.seed, counts, c.n.Load())
+	} else {
+		cm, err = frequency.NewCountMinFromCounts(c.width, c.depth, c.seed, counts, c.n.Load())
+	}
 	if err != nil {
 		panic(err) // dimensions match by construction
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/hashx"
+	"repro/internal/mergex"
 	"repro/internal/randx"
 )
 
@@ -82,22 +83,38 @@ const maskScale = 1e6
 
 // Aggregate sums the cohort's masked uploads; the pairwise masks
 // cancel, leaving the exact sum of private vectors (up to float
-// rounding of order maskScale·ε_machine).
+// rounding of order maskScale·ε_machine). The vector additions run as
+// a parallel tree reduction (mergex.Tree) over copies of the uploads —
+// the fan-in is where a real aggregation server spends its time once
+// cohorts reach millions. Tree grouping regroups the float additions
+// relative to a serial fold, which only moves the existing
+// maskScale·ε_machine residue, and pairwise summation actually
+// tightens it.
 func (a *SecureAggregator) Aggregate(uploads [][]float64) ([]float64, error) {
 	if len(uploads) != a.cohort {
 		return nil, fmt.Errorf("federated: got %d uploads for cohort of %d (dropout handling requires a recovery round)",
 			len(uploads), a.cohort)
 	}
-	sum := make([]float64, a.dim)
 	for _, u := range uploads {
 		if len(u) != a.dim {
 			return nil, fmt.Errorf("federated: upload dim %d, want %d", len(u), a.dim)
 		}
-		for c, v := range u {
-			sum[c] += v
-		}
 	}
-	return sum, nil
+	// One contiguous scratch copy so the reduction never mutates the
+	// caller's uploads.
+	scratch := make([]float64, len(uploads)*a.dim)
+	rows := make([][]float64, len(uploads))
+	for i, u := range uploads {
+		row := scratch[i*a.dim : (i+1)*a.dim]
+		copy(row, u)
+		rows[i] = row
+	}
+	return mergex.Tree(rows, func(dst, src []float64) error {
+		for c, v := range src {
+			dst[c] += v
+		}
+		return nil
+	})
 }
 
 // Cohort returns the cohort size.

@@ -18,12 +18,16 @@ import (
 // internal/fetchsgd).
 type CountSketch struct {
 	counts [][]int64
+	flat   []int64        // fused mode: blocks × depth × 8 interleaved counters
 	bucket []*hashx.KWise // KWise mode: 2-wise bucket hashes, one per row
 	sign   []*hashx.KWise // KWise mode: 4-wise sign hashes, one per row
 	width  int
+	depth  int
+	blocks uint64 // fused mode: 8-counter blocks per row (width/8)
 	seed   uint64
 	n      uint64
 	kwise  bool // row buckets/signs from KWise polynomials instead of double hashing
+	fused  bool // counters in the cache-line-interleaved fused layout
 }
 
 // NewCountSketch creates a width×depth Count Sketch. Depth should be
@@ -49,7 +53,38 @@ func NewCountSketch(width, depth int, seed uint64) *CountSketch {
 	for i := range counts {
 		counts[i] = make([]int64, width)
 	}
-	return &CountSketch{counts: counts, width: width, seed: seed}
+	return &CountSketch{counts: counts, width: width, depth: depth, seed: seed}
+}
+
+// NewCountSketchFused creates a sketch in the fused cache-line layout
+// (see NewCountMinFused): the depth counters an item touches live in
+// depth adjacent 512-bit blocks, addressed by one block column plus a
+// 3-bit slot per row, so an update streams depth consecutive cache
+// lines instead of touching depth scattered rows. Width is rounded up
+// to a multiple of 8; depth is rounded odd and capped at 21 (3 slot
+// bits per row from one 64-bit word). Signs come from the same remixed
+// word as derived mode — a separate word from the slots, so a row's
+// sign never correlates with its bucket. Fused and standard sketches
+// address different cells and do not merge with each other.
+func NewCountSketchFused(width, depth int, seed uint64) *CountSketch {
+	if width < 1 || depth < 1 {
+		panic("frequency: CountSketch dimensions must be positive")
+	}
+	if depth%2 == 0 {
+		depth++
+	}
+	if depth > fusedMaxDepth {
+		panic("frequency: fused CountSketch depth must be <= 21 (3 slot bits per row from a 64-bit word)")
+	}
+	width = (width + 7) &^ 7
+	return &CountSketch{
+		flat:   make([]int64, width*depth),
+		width:  width,
+		depth:  depth,
+		blocks: uint64(width / 8),
+		seed:   seed,
+		fused:  true,
+	}
 }
 
 // NewCountSketchKWise creates a sketch on the slow path: per-row 2-wise
@@ -104,6 +139,10 @@ func (c *CountSketch) Update(item []byte) { c.Add(item, 1) }
 // same h, so pipelines that pre-hash with hashx.XXHash64 (or
 // hashx.HashUint64) can mix AddHash writes with Estimate(item) reads.
 func (c *CountSketch) AddHash(h uint64, weight int64) {
+	if c.fused {
+		c.addHashFused(h, weight)
+		return
+	}
 	if !c.kwise {
 		c.addHashDerived(h, weight)
 		return
@@ -137,6 +176,141 @@ func (c *CountSketch) addHashDerived(h uint64, weight int64) {
 	c.countWeight(weight)
 }
 
+// fusedState returns the flat index of row 0's cache line in the block
+// column h selects, the sign word (bit r = row r's sign, identical to
+// derived mode), and the slot word whose 3-bit chunks pick each row's
+// cell. Slots remix the sign word once more so a row's slot bits never
+// overlap its sign bit (bit 0 of the sign word is one of row 0's slot
+// bits if both streams share a word — that correlation would bias
+// row 0's estimate).
+func (c *CountSketch) fusedState(h uint64) (base, signBits, slots uint64) {
+	signBits = hashx.Mix64(hashx.DeriveH2(h))
+	return hashx.FastRange(h, c.blocks) * uint64(c.depth) * 8, signBits, hashx.Mix64(signBits)
+}
+
+// addHashFused is the fused-layout fast lane: depth consecutive cache
+// lines, one signed counter bumped per line.
+func (c *CountSketch) addHashFused(h uint64, weight int64) {
+	base, signBits, slots := c.fusedState(h)
+	for r := 0; r < c.depth; r++ {
+		m := -int64(signBits & 1)
+		c.flat[base+slots&7] += (weight ^ m) - m
+		base += 8
+		slots >>= 3
+		signBits >>= 1
+	}
+	c.countWeight(weight)
+}
+
+func (c *CountSketch) estimateFused(h uint64) int64 {
+	// The scratch rows fit a stack array (fused depth <= 21), and the
+	// in-place odd-length median keeps this query path allocation-free
+	// like the fused add path.
+	var ests [fusedMaxDepth]int64
+	base, signBits, slots := c.fusedState(h)
+	for r := 0; r < c.depth; r++ {
+		m := -int64(signBits & 1)
+		ests[r] = (c.flat[base+slots&7] ^ m) - m
+		base += 8
+		slots >>= 3
+		signBits >>= 1
+	}
+	return medianOddInPlace(ests[:c.depth])
+}
+
+// medianOddInPlace insertion-sorts xs (odd length, <= fusedMaxDepth
+// elements) and returns the middle element. Equivalent to
+// core.MedianInt64 for odd-length input, without the copy or the
+// sort.Slice closure allocation.
+func medianOddInPlace(xs []int64) int64 {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+	return xs[len(xs)/2]
+}
+
+// AddHashBatch folds many pre-hashed items in, each with weight 1,
+// using the two-phase pipelined chunk loop in derived and fused modes
+// (signed counter adds commute, so update order is free); KWise mode
+// falls back to the scalar loop. State is identical to calling AddHash
+// per item.
+func (c *CountSketch) AddHashBatch(hs []uint64) {
+	if c.kwise {
+		for _, h := range hs {
+			c.AddHash(h, 1)
+		}
+		return
+	}
+	if c.fused {
+		c.addHashBatchFused(hs)
+		return
+	}
+	c.addHashBatchDerived(hs)
+}
+
+// addHashBatchDerived processes chunks row-by-row, like the Count-Min
+// batch loop, with each row's sign bit peeled from the precomputed
+// sign words.
+func (c *CountSketch) addHashBatchDerived(hs []uint64) {
+	var xs, h2s, signs [ingestChunk]uint64
+	w := uint64(c.width)
+	for start := 0; start < len(hs); start += ingestChunk {
+		end := start + ingestChunk
+		if end > len(hs) {
+			end = len(hs)
+		}
+		chunk := hs[start:end]
+		for i, h := range chunk {
+			h2 := hashx.DeriveH2(h)
+			xs[i] = h
+			h2s[i] = h2
+			signs[i] = hashx.Mix64(h2)
+		}
+		for r := range c.counts {
+			row := c.counts[r]
+			for i := range chunk {
+				m := -int64(signs[i] >> uint(r) & 1)
+				row[hashx.FastRange(xs[i], w)] += (1 ^ m) - m
+				xs[i] += h2s[i]
+			}
+		}
+		c.n += uint64(len(chunk))
+	}
+}
+
+// addHashBatchFused precomputes each chunk item's block base, sign and
+// slot words (phase 1), then streams the depth-line updates (phase 2).
+func (c *CountSketch) addHashBatchFused(hs []uint64) {
+	var bases, signws, slotws [ingestChunk]uint64
+	for start := 0; start < len(hs); start += ingestChunk {
+		end := start + ingestChunk
+		if end > len(hs) {
+			end = len(hs)
+		}
+		chunk := hs[start:end]
+		for i, h := range chunk {
+			bases[i], signws[i], slotws[i] = c.fusedState(h)
+		}
+		for i := range chunk {
+			base, signBits, slots := bases[i], signws[i], slotws[i]
+			for r := 0; r < c.depth; r++ {
+				m := -int64(signBits & 1)
+				c.flat[base+slots&7] += (1 ^ m) - m
+				base += 8
+				slots >>= 3
+				signBits >>= 1
+			}
+		}
+		c.n += uint64(len(chunk))
+	}
+}
+
 func (c *CountSketch) countWeight(weight int64) {
 	if weight >= 0 {
 		c.n += uint64(weight)
@@ -158,6 +332,9 @@ func (c *CountSketch) EstimateUint64(item uint64) int64 {
 }
 
 func (c *CountSketch) estimateHash(h uint64) int64 {
+	if c.fused {
+		return c.estimateFused(h)
+	}
 	if !c.kwise {
 		return c.estimateDerived(h)
 	}
@@ -188,7 +365,21 @@ func (c *CountSketch) estimateDerived(h uint64) int64 {
 // an estimate of the second frequency moment ‖f‖₂², equivalent to the
 // AMS tug-of-war estimate with the hashing speedup.
 func (c *CountSketch) F2Estimate() float64 {
-	norms := make([]float64, len(c.counts))
+	norms := make([]float64, c.depth)
+	if c.fused {
+		stride := uint64(c.depth) * 8
+		for r := 0; r < c.depth; r++ {
+			var s float64
+			for base := uint64(r) * 8; base < uint64(len(c.flat)); base += stride {
+				for j := uint64(0); j < 8; j++ {
+					v := float64(c.flat[base+j])
+					s += v * v
+				}
+			}
+			norms[r] = s
+		}
+		return core.Median(norms)
+	}
 	for r := range c.counts {
 		var s float64
 		for _, v := range c.counts[r] {
@@ -206,7 +397,7 @@ func (c *CountSketch) N() uint64 { return c.n }
 func (c *CountSketch) Width() int { return c.width }
 
 // Depth returns the sketch depth.
-func (c *CountSketch) Depth() int { return len(c.counts) }
+func (c *CountSketch) Depth() int { return c.depth }
 
 // ErrorBoundL2 returns the per-query additive error scale ‖f‖₂/√width
 // implied by the sketch's own F2 estimate.
@@ -215,50 +406,75 @@ func (c *CountSketch) ErrorBoundL2() float64 {
 }
 
 // SizeBytes returns the counter storage size.
-func (c *CountSketch) SizeBytes() int { return len(c.counts) * c.width * 8 }
+func (c *CountSketch) SizeBytes() int { return c.depth * c.width * 8 }
 
 // Derived reports whether buckets and signs come from the
 // double-hashing fast lane (true, the default) or per-row KWise
 // polynomials.
 func (c *CountSketch) Derived() bool { return !c.kwise }
 
+// Fused reports whether counters live in the cache-line-interleaved
+// fused layout. Fused and standard sketches address different cells
+// and are not mergeable with each other.
+func (c *CountSketch) Fused() bool { return c.fused }
+
 // Merge adds another sketch's counters cell-wise (the structure is
 // linear, so this is exact).
 func (c *CountSketch) Merge(other *CountSketch) error {
-	if c.width != other.width || len(c.counts) != len(other.counts) || c.seed != other.seed || c.kwise != other.kwise {
+	if c.width != other.width || c.depth != other.depth || c.seed != other.seed ||
+		c.kwise != other.kwise || c.fused != other.fused {
 		return fmt.Errorf("%w: count-sketch shape mismatch", core.ErrIncompatible)
 	}
-	for r := range c.counts {
-		for j := range c.counts[r] {
-			c.counts[r][j] += other.counts[r][j]
+	if c.fused {
+		for i, v := range other.flat {
+			c.flat[i] += v
+		}
+	} else {
+		for r := range c.counts {
+			for j := range c.counts[r] {
+				c.counts[r][j] += other.counts[r][j]
+			}
 		}
 	}
 	c.n += other.n
 	return nil
 }
 
-// MarshalBinary serializes the sketch. Version 2 adds the row-hash
-// mode byte; version-1 payloads decode as KWise-mode sketches.
+// MarshalBinary serializes the sketch. Version 3 extends the version-2
+// row-hash byte into a mode byte (0 derived, 1 kwise, 2 fused); fused
+// payloads carry one flat slice in the fused cell order instead of
+// per-row slices. Version-1 payloads decode as KWise-mode sketches.
 func (c *CountSketch) MarshalBinary() ([]byte, error) {
-	w := core.NewWriter(core.TagCountSketch, 2)
+	w := core.NewWriter(core.TagCountSketch, 3)
 	w.U32(uint32(c.width))
-	w.U32(uint32(len(c.counts)))
+	w.U32(uint32(c.depth))
 	w.U64(c.seed)
 	w.U64(c.n)
-	if c.kwise {
-		w.U8(1)
-	} else {
-		w.U8(0)
-	}
-	for _, row := range c.counts {
-		w.I64Slice(row)
+	switch {
+	case c.fused:
+		w.U8(cmModeFused)
+		w.I64Slice(c.flat)
+	case c.kwise:
+		w.U8(cmModeKWise)
+		for _, row := range c.counts {
+			w.I64Slice(row)
+		}
+	default:
+		w.U8(cmModeDerived)
+		for _, row := range c.counts {
+			w.I64Slice(row)
+		}
 	}
 	return w.Bytes(), nil
 }
 
-// UnmarshalBinary restores a sketch serialized by MarshalBinary.
+// UnmarshalBinary restores a sketch serialized by MarshalBinary. As
+// with Count-Min, the mode byte is validated against the version that
+// wrote it: version 2 predates the fused layout, so a version-2
+// envelope carrying the fused mode byte is rejected rather than
+// misparsed.
 func (c *CountSketch) UnmarshalBinary(data []byte) error {
-	r, version, err := core.NewReaderVersioned(data, core.TagCountSketch, 2)
+	r, version, err := core.NewReaderVersioned(data, core.TagCountSketch, 3)
 	if err != nil {
 		return err
 	}
@@ -266,16 +482,43 @@ func (c *CountSketch) UnmarshalBinary(data []byte) error {
 	depth := int(r.U32())
 	seed := r.U64()
 	n := r.U64()
-	kwise := version < 2 // every version-1 writer used KWise rows
+	mode := cmModeKWise // every version-1 writer used KWise rows
 	if version >= 2 {
-		kwise = r.U8() == 1
+		mode = r.U8()
 	}
 	if r.Err() != nil {
 		return r.Err()
 	}
+	if version == 2 && mode > cmModeKWise {
+		return fmt.Errorf("%w: count-sketch mode byte %d in a version-2 envelope (fused layouts are version 3)", core.ErrCorrupt, mode)
+	}
+	if mode > cmModeFused {
+		return fmt.Errorf("%w: count-sketch mode byte %d", core.ErrCorrupt, mode)
+	}
+	if mode == cmModeFused {
+		// Depth must be odd: the constructor only ever produces odd
+		// depths, and an even value would be silently re-rounded,
+		// detaching the decoded shape from the payload.
+		if width < 1 || width%8 != 0 || depth < 1 || depth > fusedMaxDepth || depth%2 == 0 {
+			return fmt.Errorf("%w: fused count-sketch dims %dx%d", core.ErrCorrupt, width, depth)
+		}
+		flat := r.I64Slice()
+		if len(flat) != width*depth {
+			return fmt.Errorf("%w: fused count-sketch payload %d cells for %dx%d", core.ErrCorrupt, len(flat), width, depth)
+		}
+		if err := r.Done(); err != nil {
+			return err
+		}
+		fresh := NewCountSketchFused(width, depth, seed)
+		fresh.flat = flat
+		fresh.n = n
+		*c = *fresh
+		return nil
+	}
 	// KWise payloads (including all version-1 ones) may carry up to the
 	// historical depth 65; derived payloads are capped at 63 so every
 	// row reads a distinct bit of the single 64-bit sign word.
+	kwise := mode == cmModeKWise
 	if width < 1 || depth < 1 || depth > 65 || (!kwise && depth > 63) {
 		return fmt.Errorf("%w: count-sketch dims %dx%d", core.ErrCorrupt, width, depth)
 	}
@@ -295,6 +538,8 @@ func (c *CountSketch) UnmarshalBinary(data []byte) error {
 	if kwise {
 		bucket, sign = newCountSketchRows(seed, depth)
 	}
-	c.width, c.seed, c.n, c.counts, c.bucket, c.sign, c.kwise = width, seed, n, counts, bucket, sign, kwise
+	c.width, c.depth, c.seed, c.n = width, depth, seed, n
+	c.counts, c.bucket, c.sign, c.kwise = counts, bucket, sign, kwise
+	c.flat, c.blocks, c.fused = nil, 0, false
 	return nil
 }

@@ -33,7 +33,7 @@ func init() {
 		},
 		Decode: decode1[cardinality.HLL](),
 		Bind: Bindings{
-			Ingest: itemsIngest((*cardinality.HLL).Add),
+			Ingest: batchItemsIngest((*cardinality.HLL).AddBatch),
 			Query: query1(func(h *cardinality.HLL, _ url.Values) (map[string]any, error) {
 				return map[string]any{
 					"estimate": h.Estimate(),

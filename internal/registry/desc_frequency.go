@@ -31,6 +31,20 @@ func topEntries(params url.Values, entries []frequency.Entry) ([]map[string]any,
 	return out, nil
 }
 
+// countMinShape validates the shared width/depth/fused parameter
+// convention of the countmin constructors (plain and serving must
+// agree so WAL replay restores identical addressing).
+func countMinShape(p Params) (width, depth int, fused bool, err error) {
+	width, depth, fused = p.Int("width"), p.Int("depth"), p.Int("fused") == 1
+	if width*depth > 1<<26 {
+		return 0, 0, false, fmt.Errorf("%w: countmin shape %dx%d", ErrParams, width, depth)
+	}
+	if fused && depth > 21 {
+		return 0, 0, false, fmt.Errorf("%w: fused countmin depth %d must be <= 21", ErrParams, depth)
+	}
+	return width, depth, fused, nil
+}
+
 func init() {
 	register(Descriptor{
 		Tag:    core.TagCountMin,
@@ -41,18 +55,25 @@ func init() {
 		Params: []Param{
 			{Name: "width", Doc: "counters per row", Def: 2048, Min: 1, Max: 1 << 24},
 			{Name: "depth", Doc: "hash rows", Def: 4, Min: 1, Max: 64},
+			{Name: "fused", Doc: "1 = fused cache-line layout (depth <= 21)", Def: 0, Min: 0, Max: 1},
 		},
 		New: func(p Params) (any, error) {
-			width, depth := p.Int("width"), p.Int("depth")
-			if width*depth > 1<<26 {
-				return nil, fmt.Errorf("%w: countmin shape %dx%d", ErrParams, width, depth)
+			width, depth, fused, err := countMinShape(p)
+			if err != nil {
+				return nil, err
+			}
+			if fused {
+				return frequency.NewCountMinFused(width, depth, p.Seed), nil
 			}
 			return frequency.NewCountMin(width, depth, p.Seed), nil
 		},
 		NewServing: func(p Params) (any, error) {
-			width, depth := p.Int("width"), p.Int("depth")
-			if width*depth > 1<<26 {
-				return nil, fmt.Errorf("%w: countmin shape %dx%d", ErrParams, width, depth)
+			width, depth, fused, err := countMinShape(p)
+			if err != nil {
+				return nil, err
+			}
+			if fused {
+				return concurrent.NewAtomicCountMinFused(width, depth, p.Seed), nil
 			}
 			return concurrent.NewAtomicCountMin(width, depth, p.Seed), nil
 		},
@@ -88,11 +109,18 @@ func init() {
 		Params: []Param{
 			{Name: "width", Doc: "counters per row", Def: 2048, Min: 1, Max: 1 << 24},
 			{Name: "depth", Doc: "hash rows (odd; even is bumped)", Def: 5, Min: 1, Max: 63},
+			{Name: "fused", Doc: "1 = fused cache-line layout (depth <= 21)", Def: 0, Min: 0, Max: 1},
 		},
 		New: func(p Params) (any, error) {
-			width, depth := p.Int("width"), p.Int("depth")
+			width, depth, fused := p.Int("width"), p.Int("depth"), p.Int("fused") == 1
 			if width*depth > 1<<26 {
 				return nil, fmt.Errorf("%w: countsketch shape %dx%d", ErrParams, width, depth)
+			}
+			if fused {
+				if depth > 21 {
+					return nil, fmt.Errorf("%w: fused countsketch depth %d must be <= 21", ErrParams, depth)
+				}
+				return frequency.NewCountSketchFused(width, depth, p.Seed), nil
 			}
 			return frequency.NewCountSketch(width, depth, p.Seed), nil
 		},

@@ -78,6 +78,21 @@ func parseSigned(b []byte) (int64, error) {
 	return int64(u), nil
 }
 
+// batchItemsIngest: InputItems for types with a pipelined batch entry
+// point (AddBatch hashes each chunk fully before updating — the
+// two-phase loop that lets consecutive items' cache misses overlap).
+// The batch function must not retain the item slices.
+func batchItemsIngest[T any](addBatch func(T, [][]byte)) func(any, [][]byte) error {
+	return func(inst any, items [][]byte) error {
+		c, err := cast[T](inst)
+		if err != nil {
+			return err
+		}
+		addBatch(c, items)
+		return nil
+	}
+}
+
 // itemsIngest: InputItems. The add function must not retain the item
 // slice (or must copy, as the sample types do).
 func itemsIngest[T any](add func(T, []byte)) func(any, [][]byte) error {

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mergex"
+	typereg "repro/internal/registry"
+)
+
+// The bundle format lets a client ship N same-type envelopes to
+// POST /v1/sketch/{name}/merge in one request. The server decodes them
+// all, tree-merges them across GOMAXPROCS cores OUTSIDE the sketch
+// lock (internal/mergex), and only then absorbs the single combined
+// envelope through the ordinary merge path — so the entry lock and the
+// write-ahead log see exactly one merge, and replaying the WAL
+// reproduces the same state as the N individual posts would have.
+//
+// Layout (little-endian, matching the GSK1 envelope convention):
+//
+//	"GSKB" | u32 count | count × (u32 len | GSK1 envelope bytes)
+
+// BundleMagic prefixes a multi-envelope merge body. It is distinct
+// from the per-sketch "GSK1" magic, so the merge handler can tell a
+// bundle from a single envelope by its first four bytes.
+const BundleMagic = "GSKB"
+
+// maxBundleEnvelopes bounds the declared envelope count before any
+// allocation, so a corrupt header can't balloon memory. The body cap
+// (maxBodyBytes) bounds the real payload anyway.
+const maxBundleEnvelopes = 1 << 16
+
+// IsBundle reports whether a merge body carries the GSKB framing.
+func IsBundle(body []byte) bool {
+	return len(body) >= 8 && string(body[:4]) == BundleMagic
+}
+
+// EncodeBundle frames envelopes into one GSKB merge body. The client
+// package uses it for MergeMany; tests use it to drive the handler.
+func EncodeBundle(envelopes [][]byte) []byte {
+	size := 8
+	for _, env := range envelopes {
+		size += 4 + len(env)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, BundleMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(envelopes)))
+	for _, env := range envelopes {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(env)))
+		out = append(out, env...)
+	}
+	return out
+}
+
+// CombineBundle decodes every envelope in a GSKB body and tree-merges
+// them into one combined envelope of the same type. All envelopes must
+// decode to the same registry descriptor and the family must merge;
+// shape mismatches surface the underlying core.ErrIncompatible so the
+// HTTP layer maps them to 409 like any other incompatible merge.
+func CombineBundle(body []byte) ([]byte, error) {
+	if !IsBundle(body) {
+		return nil, fmt.Errorf("%w: bundle too short or bad magic", core.ErrCorrupt)
+	}
+	rest := body[4:]
+	count := binary.LittleEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if count == 0 {
+		return nil, fmt.Errorf("%w: bundle with zero envelopes", core.ErrCorrupt)
+	}
+	if count > maxBundleEnvelopes {
+		return nil, fmt.Errorf("%w: bundle declares %d envelopes (max %d)", core.ErrCorrupt, count, maxBundleEnvelopes)
+	}
+	var d *typereg.Descriptor
+	insts := make([]any, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: bundle truncated in envelope %d header", core.ErrCorrupt, i)
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return nil, fmt.Errorf("%w: bundle envelope %d declares %d bytes, %d remain", core.ErrCorrupt, i, n, len(rest))
+		}
+		inst, id, err := typereg.Decode(rest[:n])
+		if err != nil {
+			return nil, fmt.Errorf("bundle envelope %d: %w", i, err)
+		}
+		rest = rest[n:]
+		if d == nil {
+			d = id
+			if d.Bind.Merge == nil {
+				return nil, fmt.Errorf("%w: %s does not merge", ErrUnsupported, d.Name)
+			}
+		} else if id != d {
+			return nil, fmt.Errorf("%w: bundle mixes %s and %s envelopes", core.ErrIncompatible, d.Name, id.Name)
+		}
+		insts = append(insts, inst)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last bundle envelope", core.ErrCorrupt, len(rest))
+	}
+	merged, err := mergex.Tree(insts, d.Bind.Merge)
+	if err != nil {
+		return nil, err
+	}
+	return typereg.Marshal(merged)
+}

@@ -89,6 +89,17 @@ func (c *Client) Merge(name string, envelope []byte) error {
 	return c.post(c.url(name, "merge"), "application/octet-stream", envelope, nil)
 }
 
+// MergeMany posts many same-type envelopes as one GSKB bundle. The
+// server tree-merges the shards across its cores outside the sketch
+// lock, then absorbs the combined result in a single merge — one
+// request, one lock acquisition, one WAL record for the whole fan-in.
+func (c *Client) MergeMany(name string, envelopes [][]byte) error {
+	if len(envelopes) == 1 {
+		return c.Merge(name, envelopes[0])
+	}
+	return c.post(c.url(name, "merge"), "application/octet-stream", server.EncodeBundle(envelopes), nil)
+}
+
 // Snapshot fetches the sketch's serialization envelope.
 func (c *Client) Snapshot(name string) ([]byte, error) {
 	resp, err := c.hc.Get(c.url(name, "snapshot"))

@@ -15,6 +15,9 @@
 //	POST   /v1/sketch/{name}/add       ingest newline-delimited items
 //	GET    /v1/sketch/{name}/query     type-specific read (see Entry.Query)
 //	POST   /v1/sketch/{name}/merge     absorb a peer MarshalBinary envelope
+//	                                   (or a GSKB bundle of same-type
+//	                                   envelopes, tree-merged in parallel
+//	                                   before absorption — see bundle.go)
 //	GET    /v1/sketch/{name}/snapshot  serialize out (octet-stream)
 //	DELETE /v1/sketch/{name}           drop the sketch
 //	GET    /v1/sketch                  list sketches
@@ -229,6 +232,24 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if IsBundle(body) {
+		// Fan-in: decode and tree-merge the bundle across cores while
+		// holding no locks, then absorb the single combined envelope
+		// below — one lock acquisition and one WAL record for N shards.
+		combined, err := CombineBundle(body)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch {
+			case errors.Is(err, core.ErrIncompatible):
+				status = http.StatusConflict
+			case errors.Is(err, ErrUnsupported):
+				status = http.StatusMethodNotAllowed
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+		body = combined
+	}
 	var err error
 	if s.dur != nil {
 		e.walMu.Lock()

@@ -1,14 +1,17 @@
 #!/bin/sh
-# Regenerate BENCH_1.json: run the internal/benchrun hot-path
-# microbenchmark suite via sketchbench and write the JSON report at the
-# repo root. Extra arguments pass through (e.g. -benchtime 100ms for a
-# quick smoke run, -benchout - for stdout).
+# Regenerate the benchmark baseline (BENCH_2.json as of PR 5): run the
+# internal/benchrun hot-path microbenchmark suite via sketchbench and
+# write the JSON report at the repo root. Extra arguments pass through
+# (e.g. -benchtime 100ms for a quick smoke run, -benchout - for
+# stdout). Compare two reports with scripts/benchdiff.sh.
 #
 # With -run as the first argument the script runs sketchbench in
-# experiment mode instead — `scripts/bench.sh -run E27` measures
-# durable-sketchd ingest throughput at each fsync policy against the
-# in-memory baseline (EXPERIMENTS.md E27); `scripts/bench.sh -run E25`
-# is the in-memory loadgen.
+# experiment mode instead — `scripts/bench.sh -run E28` measures the
+# cache-conscious layouts (blocked Bloom, fused Count-Min, batched
+# ingest, parallel tree-merge) against their scalar baselines;
+# `scripts/bench.sh -run E27` measures durable-sketchd ingest
+# throughput at each fsync policy; `scripts/bench.sh -run E25` is the
+# in-memory loadgen.
 set -eu
 cd "$(dirname "$0")/.."
 case "${1:-}" in

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Compare two benchrun JSON reports and flag >10% ns/op regressions
+# (and any allocs/op growth). Thin wrapper over cmd/benchdiff so CI
+# and humans invoke the same comparer.
+#
+#   scripts/benchdiff.sh BENCH_1.json BENCH_2.json
+#   scripts/benchdiff.sh -strict BENCH_2.json bench-smoke.json
+#
+# Default mode always exits 0 (informational — shared-runner noise
+# must not gate merges); pass -strict to fail on flagged regressions.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchdiff "$@"

@@ -73,6 +73,10 @@ type (
 	BloomFilter = bloom.Filter
 	// CountingBloomFilter supports deletions via small counters.
 	CountingBloomFilter = bloom.CountingFilter
+	// BlockedBloomFilter confines each item's k bits to one 512-bit
+	// cache-line block (Putze–Sanders–Singler): one memory access per
+	// Add/Contains at a slightly higher false-positive rate.
+	BlockedBloomFilter = bloom.BlockedFilter
 )
 
 // NewBloom creates a Bloom filter with m bits and k hash functions.
@@ -87,6 +91,19 @@ func NewBloomWithEstimates(n uint64, p float64, seed uint64) *BloomFilter {
 // NewCountingBloom creates a counting Bloom filter.
 func NewCountingBloom(m uint64, k int, seed uint64) *CountingBloomFilter {
 	return bloom.NewCounting(m, k, seed)
+}
+
+// NewBlockedBloom creates a cache-line-blocked Bloom filter with at
+// least m bits (rounded up to whole 512-bit blocks) and k probes.
+func NewBlockedBloom(m uint64, k int, seed uint64) *BlockedBloomFilter {
+	return bloom.NewBlocked(m, k, seed)
+}
+
+// NewBlockedBloomWithEstimates sizes a blocked Bloom filter for n items
+// at target false-positive rate p (realized FPR lands slightly above p
+// — the blocking penalty; see bloom.TheoreticalBlockedFPR).
+func NewBlockedBloomWithEstimates(n uint64, p float64, seed uint64) *BlockedBloomFilter {
+	return bloom.NewBlockedWithEstimates(n, p, seed)
 }
 
 // Approximate counting (Morris 1977; Nelson–Yu PODS 2022).
@@ -172,6 +189,21 @@ func NewCountMin(width, depth int, seed uint64) *CountMin {
 // NewCountMinWithSpec sizes a Count-Min sketch from an (ε, δ) contract.
 func NewCountMinWithSpec(spec Spec, seed uint64) (*CountMin, error) {
 	return frequency.NewCountMinWithSpec(spec, seed)
+}
+
+// NewCountMinFused creates a Count-Min sketch in the fused cache-line
+// layout: the depth counters an item touches live in depth adjacent
+// cache lines instead of depth distant rows (width rounds up to a
+// multiple of 8; depth ≤ 21). Fused and standard sketches address
+// different cells and do not merge with each other.
+func NewCountMinFused(width, depth int, seed uint64) *CountMin {
+	return frequency.NewCountMinFused(width, depth, seed)
+}
+
+// NewCountSketchFused creates a Count Sketch in the fused cache-line
+// layout (width rounds up to a multiple of 8; depth rounds odd, ≤ 21).
+func NewCountSketchFused(width, depth int, seed uint64) *CountSketch {
+	return frequency.NewCountSketchFused(width, depth, seed)
 }
 
 // NewCountSketch creates a width×depth Count Sketch (depth ≤ 63; even
@@ -426,6 +458,8 @@ type (
 	ShardedHLL = concurrent.ShardedHLL
 	// AtomicCountMin is a lock-free Count-Min sketch.
 	AtomicCountMin = concurrent.AtomicCountMin
+	// AtomicBlockedBloom is a lock-free cache-line-blocked Bloom filter.
+	AtomicBlockedBloom = concurrent.AtomicBlockedBloom
 )
 
 // NewShardedHLL creates a concurrent HLL with the given shard count.
@@ -436,6 +470,12 @@ func NewShardedHLL(shards int, p uint8, seed uint64) *ShardedHLL {
 // NewAtomicCountMin creates a lock-free Count-Min sketch.
 func NewAtomicCountMin(width, depth int, seed uint64) *AtomicCountMin {
 	return concurrent.NewAtomicCountMin(width, depth, seed)
+}
+
+// NewAtomicBlockedBloom creates a lock-free blocked Bloom filter that
+// addresses the same bits as NewBlockedBloom with equal shape and seed.
+func NewAtomicBlockedBloom(m uint64, k int, seed uint64) *AtomicBlockedBloom {
+	return concurrent.NewAtomicBlockedBloom(m, k, seed)
 }
 
 // Serving (sketchd): the HTTP layer over the library — a namespace of

@@ -69,3 +69,65 @@ func TestZeroAllocHotPaths(t *testing.T) {
 	assertZeroAlloc(t, "hashx.XXHash64String", func() { _ = hashx.XXHash64String(skey, 1) })
 	assertZeroAlloc(t, "hashx.Murmur3_128String", func() { _, _ = hashx.Murmur3_128String(skey, 1) })
 }
+
+func TestZeroAllocBlockedAndFusedPaths(t *testing.T) {
+	// The PR 5 cache-conscious layouts and two-phase batch loops must
+	// hold the same zero-allocation line as the scalar paths they
+	// accelerate: the pipelined loops buffer their chunks in fixed-size
+	// stack arrays, never on the heap.
+	key := []byte("https://example.com/api/v1/users/1000000")
+	skey := strings.Repeat("zero-alloc-key/", 4) // 60 bytes
+
+	bf := bloom.NewBlockedWithEstimates(10_000, 0.01, 1)
+	assertZeroAlloc(t, "bloom.BlockedFilter.Add", func() { bf.Add(key) })
+	assertZeroAlloc(t, "bloom.BlockedFilter.Contains", func() { _ = bf.Contains(key) })
+	assertZeroAlloc(t, "bloom.BlockedFilter.AddString", func() { bf.AddString(skey) })
+	assertZeroAlloc(t, "bloom.BlockedFilter.ContainsString", func() { _ = bf.ContainsString(skey) })
+
+	batch := make([][]byte, 512)
+	for i := range batch {
+		batch[i] = key
+	}
+	h1s := make([]uint64, 512)
+	h2s := make([]uint64, 512)
+	for i := range h1s {
+		h1s[i], h2s[i] = hashx.Murmur3_128(key, 1)
+	}
+	assertZeroAlloc(t, "bloom.BlockedFilter.AddBatch", func() { bf.AddBatch(batch) })
+	assertZeroAlloc(t, "bloom.BlockedFilter.AddHashBatch", func() { bf.AddHashBatch(h1s, h2s) })
+
+	f := bloom.NewWithEstimates(10_000, 0.01, 1)
+	assertZeroAlloc(t, "bloom.Filter.AddBatch", func() { f.AddBatch(batch) })
+
+	abf := concurrent.NewAtomicBlockedBloom(1<<17, 5, 1)
+	assertZeroAlloc(t, "concurrent.AtomicBlockedBloom.Add", func() { abf.Add(key) })
+	assertZeroAlloc(t, "concurrent.AtomicBlockedBloom.Contains", func() { _ = abf.Contains(key) })
+	assertZeroAlloc(t, "concurrent.AtomicBlockedBloom.AddString", func() { abf.AddString(skey) })
+	assertZeroAlloc(t, "concurrent.AtomicBlockedBloom.AddBatch", func() { abf.AddBatch(batch) })
+	assertZeroAlloc(t, "concurrent.AtomicBlockedBloom.AddHashBatch", func() { abf.AddHashBatch(h1s, h2s) })
+
+	hs := make([]uint64, 512)
+	for i := range hs {
+		hs[i] = hashx.HashUint64(uint64(i), 1)
+	}
+
+	fcm := frequency.NewCountMinFused(2048, 5, 1)
+	assertZeroAlloc(t, "frequency.CountMin(fused).AddUint64", func() { fcm.AddUint64(42, 1) })
+	assertZeroAlloc(t, "frequency.CountMin(fused).EstimateUint64", func() { _ = fcm.EstimateUint64(42) })
+	assertZeroAlloc(t, "frequency.CountMin(fused).AddHashBatch", func() { fcm.AddHashBatch(hs) })
+
+	cm := frequency.NewCountMin(2048, 5, 1)
+	assertZeroAlloc(t, "frequency.CountMin.AddHashBatch", func() { cm.AddHashBatch(hs) })
+	assertZeroAlloc(t, "frequency.CountMin.AddBatch", func() { cm.AddBatch(batch) })
+
+	fcs := frequency.NewCountSketchFused(2048, 5, 1)
+	assertZeroAlloc(t, "frequency.CountSketch(fused).AddUint64", func() { fcs.AddUint64(42, 1) })
+	assertZeroAlloc(t, "frequency.CountSketch(fused).EstimateUint64", func() { _ = fcs.EstimateUint64(42) })
+	assertZeroAlloc(t, "frequency.CountSketch(fused).AddHashBatch", func() { fcs.AddHashBatch(hs) })
+
+	cs := frequency.NewCountSketch(2048, 5, 1)
+	assertZeroAlloc(t, "frequency.CountSketch.AddHashBatch", func() { cs.AddHashBatch(hs) })
+
+	h := cardinality.NewHLL(12, 1)
+	assertZeroAlloc(t, "cardinality.HLL.AddHashBatch", func() { h.AddHashBatch(hs) })
+}
