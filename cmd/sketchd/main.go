@@ -19,6 +19,13 @@
 // -fsync-interval > 0 group-commits on that period (bounded data-loss
 // window); 0 fsyncs after every drained batch; negative never fsyncs
 // (the OS page cache decides).
+//
+// -concurrent-ingest=buffered switches hll, countmin, and blockedbloom
+// serving to the local-buffer/global-propagation variants: writer-local
+// ingest buffers drained by a propagator goroutine, wait-free reads
+// with a bounded staleness window (reported as staleness_bound on
+// queries). Ideal for many-writer ingest-heavy workloads; atomic (the
+// default) keeps reads exact to the last completed batch.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/concurrent"
 	"repro/internal/durable"
 	"repro/internal/server"
 )
@@ -45,7 +53,20 @@ func main() {
 		"interval between snapshots that truncate the WAL (<=0 disables the timer)")
 	walMaxBytes := flag.Int64("wal-max-bytes", 64<<20,
 		"WAL size that forces a snapshot + truncation")
+	concurrentIngest := flag.String("concurrent-ingest", "atomic",
+		"multi-writer ingest mode for families with concurrent variants: "+
+			"atomic (shared-memory CAS) or buffered (per-writer local buffers + propagator, wait-free stale reads)")
 	flag.Parse()
+
+	switch *concurrentIngest {
+	case "atomic":
+	case "buffered":
+		// Must be selected before recovery: restored entries are
+		// constructed through the same serving-mode switch.
+		concurrent.SetBufferedServing(true)
+	default:
+		log.Fatalf("sketchd: -concurrent-ingest must be atomic or buffered, got %q", *concurrentIngest)
+	}
 
 	srv := server.New()
 	if *dataDir != "" {

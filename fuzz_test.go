@@ -11,7 +11,12 @@ import (
 	"testing"
 
 	sketch "repro"
+	"repro/internal/bloom"
+	"repro/internal/cardinality"
+	"repro/internal/concurrent"
 	"repro/internal/durable"
+	"repro/internal/frequency"
+	typereg "repro/internal/registry"
 	"repro/internal/server"
 )
 
@@ -473,4 +478,102 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatalf("prefix replayed %d records, first pass %d", again, replayed)
 		}
 	})
+}
+
+// FuzzBufferedMerge exercises the PR 6 buffered (local-buffer/global-
+// propagation) families' merge surface: arbitrary bytes that decode as
+// a plain family envelope are merged into a live buffered instance —
+// shape/seed mismatches must error cleanly, compatible payloads must
+// fold in, and nothing may panic or wedge the propagator. The buffered
+// instances are shared across iterations (created once here, not per
+// fuzz case) so the target doesn't spawn a goroutine per input.
+func FuzzBufferedMerge(f *testing.F) {
+	cmSeed := frequencyCountMinSeed()
+	hllSeed := cardinalityHLLSeed()
+	bloomSeed := bloomBlockedSeed()
+	corpusFor(f, cmSeed)
+	f.Add(hllSeed)
+	f.Add(bloomSeed)
+
+	bcm := concurrent.NewBufferedCountMin(64, 4, 1)
+	bh := concurrent.NewBufferedHLL(10, 2)
+	bb := concurrent.NewBufferedBlockedBloom(1024, 4, 3)
+	f.Cleanup(func() {
+		bcm.Close()
+		bh.Close()
+		bb.Close()
+	})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var cm frequency.CountMin
+		if err := cm.UnmarshalBinary(in); err == nil {
+			_ = bcm.Merge(&cm)
+			_ = bcm.EstimateUint64(42)
+			_ = bcm.N()
+		}
+		var h cardinality.HLL
+		if err := h.UnmarshalBinary(in); err == nil {
+			_ = bh.Merge(&h)
+			_ = bh.Estimate()
+		}
+		var bf bloom.BlockedFilter
+		if err := bf.UnmarshalBinary(in); err == nil {
+			_ = bb.Merge(&bf)
+			_ = bb.Contains(in)
+		}
+	})
+}
+
+// FuzzBufferedIngest drives the registry's buffered serving ingest
+// closures (pooled-writer batch path, including the validate-whole-
+// batch weight parsing) with arbitrary newline batches: a bad line
+// must reject the batch with an error and no partial state panic-free.
+func FuzzBufferedIngest(f *testing.F) {
+	f.Add([]byte("item\t3\nplain\nx\t18446744073709551615"))
+	f.Add([]byte("a\tb"))
+	f.Add([]byte("\t\n\t\t\n"))
+	f.Add([]byte(""))
+	cmDesc, _ := typereg.Lookup("countmin")
+	hllDesc, _ := typereg.Lookup("hll")
+	bloomDesc, _ := typereg.Lookup("blockedbloom")
+	bcm := concurrent.NewBufferedCountMin(64, 4, 1)
+	bh := concurrent.NewBufferedHLL(10, 2)
+	bb := concurrent.NewBufferedBlockedBloom(1024, 4, 3)
+	f.Cleanup(func() {
+		bcm.Close()
+		bh.Close()
+		bb.Close()
+	})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		items := server.SplitBatch(in)
+		_ = cmDesc.Serve.Ingest(bcm, items)
+		_ = hllDesc.Serve.Ingest(bh, items)
+		_ = bloomDesc.Serve.Ingest(bb, items)
+	})
+}
+
+// Seed-envelope builders for the buffered fuzz targets, matching the
+// buffered instances' shapes so compatible merges actually execute.
+func frequencyCountMinSeed() []byte {
+	cm := frequency.NewCountMin(64, 4, 1)
+	for i := 0; i < 100; i++ {
+		cm.AddUint64(uint64(i), 1)
+	}
+	data, _ := cm.MarshalBinary()
+	return data
+}
+
+func cardinalityHLLSeed() []byte {
+	h := cardinality.NewHLL(10, 2)
+	for i := 0; i < 1000; i++ {
+		h.AddUint64(uint64(i))
+	}
+	data, _ := h.MarshalBinary()
+	return data
+}
+
+func bloomBlockedSeed() []byte {
+	bf := bloom.NewBlocked(1024, 4, 3)
+	bf.AddString("seed")
+	data, _ := bf.MarshalBinary()
+	return data
 }

@@ -255,6 +255,64 @@ func Benchmarks() []NamedBench {
 				h.AddHashBatch(hs)
 			}
 		}},
+		{"BufferedCountMinWriterAddHash", func(b *testing.B) {
+			c := concurrent.NewBufferedCountMin(2048, 4, 1)
+			defer c.Close()
+			w := c.Writer()
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.AddHash(uint64(i)*0x9E3779B97F4A7C15, 1)
+			}
+			b.StopTimer()
+			w.Flush()
+			c.Sync()
+		}},
+		{"BufferedCountMinWriterParallel", func(b *testing.B) {
+			// The contended shape E29 sweeps: every benchmark worker its
+			// own writer handle, one propagator folding into the global.
+			c := concurrent.NewBufferedCountMin(2048, 4, 1)
+			defer c.Close()
+			b.SetBytes(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := c.Writer()
+				var i uint64
+				for pb.Next() {
+					w.AddHash(i*0x9E3779B97F4A7C15, 1)
+					i++
+				}
+				w.Flush()
+			})
+			c.Sync()
+		}},
+		{"AtomicCountMinAddHashParallel", func(b *testing.B) {
+			// The shared-memory counterpart of the parallel buffered
+			// bench: same updates, every worker on the same cache lines.
+			cm := concurrent.NewAtomicCountMin(2048, 4, 1)
+			b.SetBytes(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var i uint64
+				for pb.Next() {
+					cm.AddHash(i*0x9E3779B97F4A7C15, 1)
+					i++
+				}
+			})
+		}},
+		{"BufferedHLLWriterAddHash", func(b *testing.B) {
+			h := concurrent.NewBufferedHLL(14, 1)
+			defer h.Close()
+			w := h.Writer()
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.AddHash(uint64(i) * 0x9E3779B97F4A7C15)
+			}
+			b.StopTimer()
+			w.Flush()
+			h.Sync()
+		}},
 		{"ServerCountMinIngest", serverCountMinIngest},
 		{"XXHash64String64B", func(b *testing.B) {
 			s := string(make([]byte, 64))

@@ -1,0 +1,92 @@
+package registry
+
+import (
+	"net/url"
+	"testing"
+
+	"repro/internal/concurrent"
+)
+
+// ServingNew must dispatch on the process-wide serving mode and fall
+// back to the atomic constructor for families without a buffered
+// variant.
+func TestServingNewModeDispatch(t *testing.T) {
+	concurrent.SetBufferedServing(false)
+	t.Cleanup(func() { concurrent.SetBufferedServing(false) })
+
+	d, _ := Lookup("countmin")
+	p, err := d.Validate(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.ServingNew()(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inst.(*concurrent.AtomicCountMin); !ok {
+		t.Fatalf("atomic mode built %T, want *concurrent.AtomicCountMin", inst)
+	}
+
+	concurrent.SetBufferedServing(true)
+	inst, err = d.ServingNew()(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := inst.(*concurrent.BufferedCountMin)
+	if !ok {
+		t.Fatalf("buffered mode built %T, want *concurrent.BufferedCountMin", inst)
+	}
+	b.Close()
+
+	// A family with no buffered variant keeps its atomic serving
+	// constructor even in buffered mode.
+	if d, _ := Lookup("theta"); d.NewServingBuffered != nil {
+		t.Fatal("theta unexpectedly grew a buffered constructor; update this test")
+	}
+}
+
+// Buffered ingest keeps the validate-whole-batch-then-apply contract:
+// a bad weight anywhere rejects the batch with no partial state.
+func TestBufferedIngestValidatesBatch(t *testing.T) {
+	concurrent.SetBufferedServing(true)
+	t.Cleanup(func() { concurrent.SetBufferedServing(false) })
+
+	d, _ := Lookup("countmin")
+	p, err := d.Validate(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.ServingNew()(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := inst.(*concurrent.BufferedCountMin)
+	defer b.Close()
+
+	batch := [][]byte{[]byte("good\t2"), []byte("bad\tnot-a-number")}
+	if err := d.Serve.Ingest(inst, batch); err == nil {
+		t.Fatal("bad weight accepted")
+	}
+	b.Sync()
+	if n := b.N(); n != 0 {
+		t.Fatalf("partial ingest after rejected batch: n=%d", n)
+	}
+
+	if err := d.Serve.Ingest(inst, [][]byte{[]byte("good\t2"), []byte("plain")}); err != nil {
+		t.Fatal(err)
+	}
+	b.Sync()
+	if n := b.N(); n != 3 {
+		t.Fatalf("n=%d after weights 2+1, want 3", n)
+	}
+	q, err := d.Serve.Query(inst, url.Values{"item": {"good"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q["estimate"].(uint64) != 2 {
+		t.Fatalf("estimate %v, want 2", q["estimate"])
+	}
+	if _, ok := q["staleness_bound"]; !ok {
+		t.Fatal("buffered query lacks staleness_bound")
+	}
+}

@@ -1,0 +1,78 @@
+package registry
+
+// Serving bindings for the local-buffer/global-propagation variants.
+// The buffered families share Serve bindings with their atomic
+// siblings (the Serve closures in the descriptors dispatch on the
+// concrete instance type), so the helpers here carry only what differs:
+// batch ingest through a pooled writer handle and queries that report
+// the staleness bound alongside the estimate.
+//
+// Ingest keeps the registry's validate-whole-batch-then-apply contract
+// and flushes the writer at batch end — the WAL logs whole batches, so
+// batch-end flush makes the WAL's logging granularity the propagation
+// handoff granularity, and a snapshot capture (which syncs) provably
+// contains every logged batch.
+
+import (
+	"fmt"
+
+	"repro/internal/concurrent"
+)
+
+// Hot-path atomic ingest closures hoisted to package level so the
+// dispatching Serve bindings don't rebuild them per batch.
+var (
+	atomicCountMinIngest = weightedIngest((*concurrent.AtomicCountMin).Add)
+	atomicBloomIngest    = batchItemsIngest((*concurrent.AtomicBlockedBloom).AddBatch)
+)
+
+// bufferedCountMinIngest folds a weighted-items batch through a pooled
+// writer handle: parse validation first, then alloc-free buffered
+// appends, then one flush.
+func bufferedCountMinIngest(c *concurrent.BufferedCountMin, items [][]byte) error {
+	for _, item := range items {
+		if tab := LastTab(item); tab >= 0 {
+			if _, err := ParseWeight(item[tab+1:]); err != nil {
+				return fmt.Errorf("%w: weight %q: %v", ErrInput, item[tab+1:], err)
+			}
+		}
+	}
+	w := c.PooledWriter()
+	for _, item := range items {
+		weight := uint64(1)
+		if tab := LastTab(item); tab >= 0 {
+			weight, _ = ParseWeight(item[tab+1:])
+			item = item[:tab]
+		}
+		w.Add(item, weight)
+	}
+	w.Flush()
+	c.ReleaseWriter(w)
+	return nil
+}
+
+// bufferedHLLIngest folds an items batch through a pooled writer.
+func bufferedHLLIngest(h *concurrent.BufferedHLL, items [][]byte) error {
+	w := h.PooledWriter()
+	w.AddBatch(items)
+	w.Flush()
+	h.ReleaseWriter(w)
+	return nil
+}
+
+// bufferedBloomIngest folds an items batch through a pooled writer.
+func bufferedBloomIngest(f *concurrent.BufferedBlockedBloom, items [][]byte) error {
+	w := f.PooledWriter()
+	w.AddBatch(items)
+	w.Flush()
+	f.ReleaseWriter(w)
+	return nil
+}
+
+// staleness annotates a buffered query response with the consistency
+// contract: reads are wait-free and may miss at most staleness_bound
+// items still in writer buffers.
+func staleness(m map[string]any, bound int) map[string]any {
+	m["staleness_bound"] = bound
+	return m
+}

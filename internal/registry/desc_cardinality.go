@@ -31,6 +31,9 @@ func init() {
 			}
 			return concurrent.NewShardedHLL(shards, p.Uint8("p"), p.Seed), nil
 		},
+		NewServingBuffered: func(p Params) (any, error) {
+			return concurrent.NewBufferedHLL(p.Uint8("p"), p.Seed), nil
+		},
 		Decode: decode1[cardinality.HLL](),
 		Bind: Bindings{
 			Ingest: batchItemsIngest((*cardinality.HLL).AddBatch),
@@ -45,6 +48,9 @@ func init() {
 		},
 		Serve: &Bindings{
 			Ingest: func(inst any, items [][]byte) error {
+				if b, ok := inst.(*concurrent.BufferedHLL); ok {
+					return bufferedHLLIngest(b, items)
+				}
 				s, err := cast[*concurrent.ShardedHLL](inst)
 				if err != nil {
 					return err
@@ -52,10 +58,26 @@ func init() {
 				s.Handle().AddBatch(items)
 				return nil
 			},
-			Query: query1(func(s *concurrent.ShardedHLL, _ url.Values) (map[string]any, error) {
+			Query: func(inst any, _ url.Values) (map[string]any, error) {
+				if b, ok := inst.(*concurrent.BufferedHLL); ok {
+					return staleness(map[string]any{"estimate": b.Estimate(), "p": b.P()}, b.StalenessBound()), nil
+				}
+				s, err := cast[*concurrent.ShardedHLL](inst)
+				if err != nil {
+					return nil, err
+				}
 				return map[string]any{"estimate": s.Estimate(), "p": s.P()}, nil
-			}),
-			Merge: merge2((*concurrent.ShardedHLL).Merge),
+			},
+			Merge: func(dst, src any) error {
+				if b, ok := dst.(*concurrent.BufferedHLL); ok {
+					s, err := cast[*cardinality.HLL](src)
+					if err != nil {
+						return err
+					}
+					return b.Merge(s)
+				}
+				return merge2((*concurrent.ShardedHLL).Merge)(dst, src)
+			},
 		},
 	})
 

@@ -77,6 +77,13 @@ func init() {
 			}
 			return concurrent.NewAtomicCountMin(width, depth, p.Seed), nil
 		},
+		NewServingBuffered: func(p Params) (any, error) {
+			width, depth, fused, err := countMinShape(p)
+			if err != nil {
+				return nil, err
+			}
+			return concurrent.NewBufferedCountMinOpts(width, depth, p.Seed, fused, concurrent.DefaultWriterBuffer), nil
+		},
 		Decode: decode1[frequency.CountMin](),
 		Bind: Bindings{
 			Ingest: weightedIngest((*frequency.CountMin).Add),
@@ -89,14 +96,38 @@ func init() {
 			Merge: merge2((*frequency.CountMin).Merge),
 		},
 		Serve: &Bindings{
-			Ingest: weightedIngest((*concurrent.AtomicCountMin).Add),
-			Query: query1(func(c *concurrent.AtomicCountMin, params url.Values) (map[string]any, error) {
+			Ingest: func(inst any, items [][]byte) error {
+				if b, ok := inst.(*concurrent.BufferedCountMin); ok {
+					return bufferedCountMinIngest(b, items)
+				}
+				return atomicCountMinIngest(inst, items)
+			},
+			Query: func(inst any, params url.Values) (map[string]any, error) {
+				if b, ok := inst.(*concurrent.BufferedCountMin); ok {
+					if item := params.Get("item"); item != "" {
+						return staleness(map[string]any{"estimate": b.Estimate([]byte(item)), "n": b.N()}, b.StalenessBound()), nil
+					}
+					return staleness(map[string]any{"n": b.N(), "width": b.Width(), "depth": b.Depth()}, b.StalenessBound()), nil
+				}
+				c, err := cast[*concurrent.AtomicCountMin](inst)
+				if err != nil {
+					return nil, err
+				}
 				if item := params.Get("item"); item != "" {
 					return map[string]any{"estimate": c.Estimate([]byte(item)), "n": c.N()}, nil
 				}
 				return map[string]any{"n": c.N(), "width": c.Width(), "depth": c.Depth()}, nil
-			}),
-			Merge: merge2((*concurrent.AtomicCountMin).Merge),
+			},
+			Merge: func(dst, src any) error {
+				if b, ok := dst.(*concurrent.BufferedCountMin); ok {
+					s, err := cast[*frequency.CountMin](src)
+					if err != nil {
+						return err
+					}
+					return b.Merge(s)
+				}
+				return merge2((*concurrent.AtomicCountMin).Merge)(dst, src)
+			},
 		},
 	})
 

@@ -19,6 +19,7 @@ import (
 	"net/url"
 	"sort"
 
+	"repro/internal/concurrent"
 	"repro/internal/core"
 )
 
@@ -172,6 +173,14 @@ type Descriptor struct {
 	// without a concurrent wrapper leave it nil and are serialized
 	// behind a per-entry mutex by the caller.
 	NewServing func(p Params) (any, error)
+	// NewServingBuffered, when set, constructs the local-buffer/
+	// global-propagation serving variant (writer-handle ingest, a
+	// propagator goroutine, wait-free relaxed-consistency reads). It is
+	// selected over NewServing when concurrent.SetBufferedServing is
+	// on; its instances are also driven through Serve, whose closures
+	// dispatch on the concrete type. Buffered instances own a
+	// goroutine — callers must Close them when the entry is deleted.
+	NewServingBuffered func(p Params) (any, error)
 	// Decode deserializes a MarshalBinary envelope of this family's
 	// plain type.
 	Decode func(data []byte) (any, error)
@@ -185,6 +194,19 @@ type Descriptor struct {
 
 // Mergeable reports whether live instances can absorb decoded peers.
 func (d *Descriptor) Mergeable() bool { return d.Bind.Merge != nil }
+
+// ServingNew resolves the serving constructor for the current
+// concurrent-ingest mode: the buffered (local-buffer/global-
+// propagation) constructor when the process has opted in via
+// concurrent.SetBufferedServing and the family provides one, otherwise
+// the default internally synchronized constructor. Nil when the family
+// has no serving variant at all.
+func (d *Descriptor) ServingNew() func(p Params) (any, error) {
+	if d.NewServingBuffered != nil && concurrent.BufferedServing() {
+		return d.NewServingBuffered
+	}
+	return d.NewServing
+}
 
 // Servable reports whether sketchd can host the type: it needs both a
 // streaming ingest format and a query operation.

@@ -166,7 +166,9 @@ func (r *replayer) Replay(rec durable.Record) error {
 		if rec.LSN <= r.snapLSN {
 			return nil
 		}
-		r.s.reg.remove(rec.Name)
+		if ne := r.s.reg.remove(rec.Name); ne != nil {
+			ne.entry.Close()
+		}
 	default:
 		return fmt.Errorf("unknown WAL op %d", rec.Op)
 	}

@@ -111,8 +111,8 @@ func NewEntry(req CreateRequest) (*Entry, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
 	}
 	newFn, bind, lockFree := d.New, &d.Bind, false
-	if d.NewServing != nil {
-		newFn, lockFree = d.NewServing, true
+	if serving := d.ServingNew(); serving != nil {
+		newFn, lockFree = serving, true
 		if d.Serve != nil {
 			bind = d.Serve
 		}
@@ -151,15 +151,19 @@ func RestoreEntry(req CreateRequest, data []byte) (*Entry, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	if d.NewServing != nil && d.Serve != nil && d.Serve.Merge != nil {
+	if servingNew := d.ServingNew(); servingNew != nil && d.Serve != nil && d.Serve.Merge != nil {
 		if p, err := d.Validate(seed, req.rawParams(d)); err == nil {
-			if serving, err := d.NewServing(p); err == nil && d.Serve.Merge(serving, inst) == nil {
-				e := &Entry{desc: d, bind: d.Serve, inst: serving, lockFree: true, req: req}
-				if b, err := e.Snapshot(); err == nil && bytes.Equal(b, data) {
-					return e, nil
+			if serving, err := servingNew(p); err == nil {
+				if d.Serve.Merge(serving, inst) == nil {
+					e := &Entry{desc: d, bind: d.Serve, inst: serving, lockFree: true, req: req}
+					if b, err := e.Snapshot(); err == nil && bytes.Equal(b, data) {
+						return e, nil
+					}
+					// Serving-path restore drifted from the recovered
+					// bytes; fall through to the provably-identical
+					// plain instance.
 				}
-				// Serving-path restore drifted from the recovered bytes;
-				// fall through to the provably-identical plain instance.
+				closeInstance(serving)
 			}
 		}
 	}
@@ -174,6 +178,20 @@ func RestoreEntry(req CreateRequest, data []byte) (*Entry, error) {
 	}
 	return e, nil
 }
+
+// closeInstance releases instance-held resources: buffered serving
+// sketches own a propagator goroutine stopped by their Close method;
+// everything else is a no-op.
+func closeInstance(inst any) {
+	if c, ok := inst.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+// Close releases entry-held resources. Call exactly when the entry
+// leaves the namespace (delete, replaced on replay); the entry must
+// not be used afterwards.
+func (e *Entry) Close() { closeInstance(e.inst) }
 
 // Type returns the registry type name ("hll", "countmin", …).
 func (e *Entry) Type() string { return e.desc.Name }

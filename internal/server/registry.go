@@ -87,16 +87,19 @@ func (r *registry) create(name string, entry *Entry) (*namedEntry, error) {
 	return ne, nil
 }
 
-// remove deletes the named entry, reporting whether it existed.
-func (r *registry) remove(name string) bool {
+// remove deletes the named entry, returning it (nil if absent) so the
+// caller can release entry-held resources — buffered serving instances
+// own a propagator goroutine that must be stopped.
+func (r *registry) remove(name string) *namedEntry {
 	s := r.stripeFor(name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.m[name]; !ok {
-		return false
+	ne, ok := s.m[name]
+	if !ok {
+		return nil
 	}
 	delete(s.m, name)
-	return true
+	return ne
 }
 
 // snapshot returns all entries sorted by name.

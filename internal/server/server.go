@@ -297,10 +297,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.reg.remove(name) {
+	ne := s.reg.remove(name)
+	if ne == nil {
 		httpError(w, http.StatusNotFound, "no such sketch %q", name)
 		return
 	}
+	ne.entry.Close()
 	if s.dur != nil {
 		s.dur.Append(durable.OpDelete, name, nil)
 	}

@@ -131,3 +131,44 @@ func TestZeroAllocBlockedAndFusedPaths(t *testing.T) {
 	h := cardinality.NewHLL(12, 1)
 	assertZeroAlloc(t, "cardinality.HLL.AddHashBatch", func() { h.AddHashBatch(hs) })
 }
+
+func TestZeroAllocBufferedWriterPaths(t *testing.T) {
+	// The PR 6 local-buffer/global-propagation writer handles: the whole
+	// point of writer-local ingest is an L1-resident append per update,
+	// so any allocation on the hot path (including in the amortized
+	// buffer handoff — recycled through channels, never reallocated)
+	// defeats the design. The propagator goroutine runs concurrently
+	// with the measurement and must stay alloc-free too, except for the
+	// one-time publish timer warmed up below.
+	key := []byte("https://example.com/api/v1/users/1000000")
+	skey := strings.Repeat("zero-alloc-key/", 4) // 60 bytes
+
+	bc := concurrent.NewBufferedCountMin(512, 4, 1)
+	defer bc.Close()
+	bw := bc.Writer()
+	assertZeroAlloc(t, "concurrent.BufferedCountMinWriter.AddHash", func() { bw.AddHash(42, 1) })
+	assertZeroAlloc(t, "concurrent.BufferedCountMinWriter.AddUint64", func() { bw.AddUint64(42, 1) })
+	assertZeroAlloc(t, "concurrent.BufferedCountMinWriter.Add", func() { bw.Add(key, 1) })
+	assertZeroAlloc(t, "concurrent.BufferedCountMinWriter.AddString", func() { bw.AddString(skey, 1) })
+	assertZeroAlloc(t, "concurrent.BufferedCountMin.EstimateUint64", func() { _ = bc.EstimateUint64(42) })
+
+	bh := concurrent.NewBufferedHLL(12, 1)
+	defer bh.Close()
+	hw := bh.Writer()
+	for i := 0; i < 2000; i++ { // arm the one-time publish timer off the clock
+		hw.AddUint64(uint64(i))
+	}
+	hw.Flush()
+	bh.Sync()
+	assertZeroAlloc(t, "concurrent.BufferedHLLWriter.AddHash", func() { hw.AddHash(42) })
+	assertZeroAlloc(t, "concurrent.BufferedHLLWriter.AddString", func() { hw.AddString(skey) })
+	assertZeroAlloc(t, "concurrent.BufferedHLL.Estimate", func() { _ = bh.Estimate() })
+
+	bb := concurrent.NewBufferedBlockedBloom(1<<17, 5, 1)
+	defer bb.Close()
+	fw := bb.Writer()
+	assertZeroAlloc(t, "concurrent.BufferedBlockedBloomWriter.AddHash", func() { fw.AddHash(42, 43) })
+	assertZeroAlloc(t, "concurrent.BufferedBlockedBloomWriter.Add", func() { fw.Add(key) })
+	assertZeroAlloc(t, "concurrent.BufferedBlockedBloomWriter.AddString", func() { fw.AddString(skey) })
+	assertZeroAlloc(t, "concurrent.BufferedBlockedBloom.Contains", func() { _ = bb.Contains(key) })
+}
