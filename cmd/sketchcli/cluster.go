@@ -1,0 +1,140 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/registry"
+	"repro/internal/server/client"
+)
+
+// cluster subcommands — the operator's view of a sketchd fleet. status
+// polls every shard's /v1/status; merge scatter-gathers one sketch's
+// envelopes and tree-merges them locally, so a global answer needs no
+// coordinator process at all (merge is the cluster's whole trick).
+func runCluster(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: sketchcli cluster <status|merge> [flags]")
+	}
+	switch args[0] {
+	case "status":
+		return runClusterStatus(args[1:])
+	case "merge":
+		return runClusterMerge(args[1:])
+	default:
+		return fmt.Errorf("usage: sketchcli cluster <status|merge> [flags]")
+	}
+}
+
+func shardList(s string) ([]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-shards url1,url2,... is required")
+	}
+	urls := strings.Split(s, ",")
+	for i, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls[i] = u
+	}
+	return urls, nil
+}
+
+func runClusterStatus(args []string) error {
+	fs := flag.NewFlagSet("cluster status", flag.ExitOnError)
+	shards := fs.String("shards", "", "comma-separated shard base URLs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	urls, err := shardList(*shards)
+	if err != nil {
+		return err
+	}
+	down := 0
+	for _, u := range urls {
+		st, err := client.New(u).Status()
+		if err != nil {
+			fmt.Printf("%-28s DOWN  %v\n", u, err)
+			down++
+			continue
+		}
+		line := fmt.Sprintf("%-28s up %6.0fs  sketches %-3d adds %-10d", u, st.UptimeSeconds, st.Sketches, st.Ops.Adds)
+		if st.Durability.Enabled {
+			line += fmt.Sprintf("  wal_lsn %-8d snap_lsn %-8d", st.Durability.WALLSN, st.Durability.LastSnapshotLSN)
+		}
+		switch st.Replication.Role {
+		case "leader":
+			line += fmt.Sprintf("  leader lag %d recs (follower seen %dms ago)",
+				st.Replication.LagRecords, st.Replication.FollowerAgeMS)
+		case "follower":
+			line += fmt.Sprintf("  follows %s applied %d lag %d recs",
+				st.Replication.Leader, st.Replication.AppliedLSN, st.Replication.LagRecords)
+		}
+		fmt.Println(line)
+	}
+	if down > 0 {
+		return fmt.Errorf("%d of %d shards down", down, len(urls))
+	}
+	return nil
+}
+
+func runClusterMerge(args []string) error {
+	fs := flag.NewFlagSet("cluster merge", flag.ExitOnError)
+	shards := fs.String("shards", "", "comma-separated shard base URLs")
+	name := fs.String("name", "", "sketch name to gather")
+	out := fs.String("o", "", "write the merged envelope here instead of summarizing it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	urls, err := shardList(*shards)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+	envs := make([][]byte, 0, len(urls))
+	for _, u := range urls {
+		env, err := client.New(u).Snapshot(*name)
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", u, err)
+		}
+		envs = append(envs, env)
+	}
+	merged, d, err := cluster.MergeEnvelopes(envs)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		env, err := registry.Marshal(merged)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, env, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: merged %d shard envelopes (%s) into %s (%d bytes)\n",
+			*name, len(envs), d.Name, *out, len(env))
+		return nil
+	}
+	res, err := d.Bind.Query(merged, url.Values{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s over %d shards\n", *name, d.Name, len(envs))
+	keys := make([]string, 0, len(res))
+	for k := range res {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-12s %v\n", k, res[k])
+	}
+	return nil
+}

@@ -66,6 +66,8 @@ func main() {
 		err = runMerge(args)
 	case "types":
 		err = runTypes(args)
+	case "cluster":
+		err = runCluster(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -77,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sketchcli <distinct|topk|quantiles|membership|f2|reach|inspect|merge|types> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sketchcli <distinct|topk|quantiles|membership|f2|reach|inspect|merge|types|cluster> [flags]
   distinct   [-p precision]     estimate distinct lines with HyperLogLog
   topk       [-k counters]      heavy hitters with SpaceSaving
   quantiles  [-q q1,q2,...]     numeric quantiles with KLL
@@ -86,7 +88,10 @@ func usage() {
   reach      [-p precision]     per-group distinct counts from "group,id" lines
   inspect    <file>             identify and summarize any serialized sketch
   merge      -o out a b [...]   merge same-type serialized sketches
-  types                         list every registered sketch family`)
+  types                         list every registered sketch family
+  cluster status -shards a,b    per-shard health, durability, replication lag
+  cluster merge  -shards a,b -name s [-o out]
+                                scatter-gather a sketch and merge it locally`)
 }
 
 func scanLines(fn func(line string)) error {

@@ -26,6 +26,18 @@
 // with a bounded staleness window (reported as staleness_bound on
 // queries). Ideal for many-writer ingest-heavy workloads; atomic (the
 // default) keeps reads exact to the last completed batch.
+//
+// Two cluster modes turn single sketchds into a fleet (internal/cluster):
+//
+//	sketchd -addr :7700 -coordinator -shards http://h1:7600,http://h2:7600
+//	sketchd -addr :7601 -follow http://h1:7600 [-follow-mirror DIR]
+//
+// A coordinator serves the same /v1/sketch API, routing ingest across
+// the shards on a consistent-hash ring and answering reads by
+// scatter-gathering and tree-merging every shard's envelope. A
+// follower replays a durable leader's sealed WAL segments into a local
+// in-memory namespace — a warm standby whose replication lag the
+// leader reports on /v1/status.
 package main
 
 import (
@@ -36,9 +48,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/concurrent"
 	"repro/internal/durable"
 	"repro/internal/server"
@@ -56,7 +70,24 @@ func main() {
 	concurrentIngest := flag.String("concurrent-ingest", "atomic",
 		"multi-writer ingest mode for families with concurrent variants: "+
 			"atomic (shared-memory CAS) or buffered (per-writer local buffers + propagator, wait-free stale reads)")
+	coordinator := flag.Bool("coordinator", false,
+		"run as a cluster coordinator over -shards instead of serving sketches locally")
+	shards := flag.String("shards", "",
+		"comma-separated shard base URLs for -coordinator mode")
+	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes,
+		"virtual nodes per shard on the coordinator's consistent-hash ring")
+	follow := flag.String("follow", "",
+		"leader base URL to replicate from (follower mode; serves a read-only warm standby)")
+	followInterval := flag.Duration("follow-interval", 500*time.Millisecond,
+		"replication poll interval in follower mode")
+	followMirror := flag.String("follow-mirror", "",
+		"directory receiving byte-identical copies of shipped WAL segments and snapshots")
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*addr, *shards, *vnodes)
+		return
+	}
 
 	switch *concurrentIngest {
 	case "atomic":
@@ -69,6 +100,11 @@ func main() {
 	}
 
 	srv := server.New()
+	if *follow != "" && *dataDir != "" {
+		// Replicated state is the leader's history; a follower writing
+		// its own WAL would interleave two histories on restart.
+		log.Fatalf("sketchd: -follow is incompatible with -data-dir (the follower mirrors the leader's log)")
+	}
 	if *dataDir != "" {
 		stats, err := srv.EnableDurability(*dataDir, durable.Options{
 			FsyncInterval:    *fsyncInterval,
@@ -87,6 +123,17 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	replCtx, replCancel := context.WithCancel(context.Background())
+	defer replCancel()
+	if *follow != "" {
+		rep := cluster.NewReplica(*follow, srv, cluster.ReplicaOptions{
+			PollInterval: *followInterval,
+			MirrorDir:    *followMirror,
+		})
+		go rep.Run(replCtx, func(err error) { log.Printf("sketchd: replication: %v", err) })
+		log.Printf("sketchd: following %s (poll %v)", *follow, *followInterval)
 	}
 
 	go func() {
@@ -114,4 +161,37 @@ func main() {
 	ops := srv.Ops().Snapshot()
 	log.Printf("sketchd: served %d adds in %d batches, %d merges, %d queries",
 		ops.Adds, ops.AddBatches, ops.Merges, ops.Queries)
+}
+
+// runCoordinator serves the cluster-facing /v1/sketch API over a shard
+// fleet and blocks until SIGINT/SIGTERM.
+func runCoordinator(addr, shardList string, vnodes int) {
+	if shardList == "" {
+		log.Fatalf("sketchd: -coordinator requires -shards url1,url2,...")
+	}
+	coord, err := cluster.NewCoordinator(strings.Split(shardList, ","), cluster.Options{
+		VirtualNodes: vnodes,
+	})
+	if err != nil {
+		log.Fatalf("sketchd: coordinator: %v", err)
+	}
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           coord,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("sketchd coordinator listening on %s over %d shards", addr, len(coord.Shards()))
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("sketchd: %v", err)
+		}
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("sketchd: shutdown: %v", err)
+	}
 }

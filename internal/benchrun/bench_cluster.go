@@ -1,0 +1,114 @@
+package benchrun
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// Cluster-layer entries: the coordinator's two hot paths measured over
+// real loopback HTTP shards, so a routing or fan-out regression shows
+// up in benchdiff next to the sketch kernels it sits on.
+
+// clusterHarness stands up n in-process shards plus a coordinator and
+// returns the coordinator with a teardown.
+func clusterHarness(b *testing.B, n int) (*cluster.Coordinator, func()) {
+	b.Helper()
+	var stops []func()
+	urls := make([]string, n)
+	for i := range urls {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs := &http.Server{Handler: server.New().Handler()}
+		go hs.Serve(ln)
+		urls[i] = "http://" + ln.Addr().String()
+		stops = append(stops, func() { hs.Close() })
+	}
+	coord, err := cluster.NewCoordinator(urls, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return coord, func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// clusterFanOutAdd measures coordinator ingest end to end: ring-route
+// a 1024-line batch into per-shard sub-batches and POST them to 4
+// shards in parallel. Reported per line.
+func clusterFanOutAdd(b *testing.B) {
+	coord, stop := clusterHarness(b, 4)
+	defer stop()
+	const lines = 1024
+	var body []byte
+	for i := 0; i < lines; i++ {
+		body = append(body, "item"+strconv.Itoa(i)+"\n"...)
+	}
+	for _, u := range coord.Shards() {
+		if err := client.New(u).Create("bench", server.CreateRequest{Type: "hll", P: 12, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(body) / lines))
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lines {
+		if _, fails := coord.FanOutAdd("bench", body); len(fails) > 0 {
+			b.Fatalf("fan-out failed: %v", fails)
+		}
+	}
+}
+
+// clusterScatterGather measures a global read end to end: snapshot all
+// 4 shards in parallel, decode the envelopes, tree-merge them through
+// mergex, and answer the query. Reported per global query.
+func clusterScatterGather(b *testing.B) {
+	coord, stop := clusterHarness(b, 4)
+	defer stop()
+	const lines = 4096
+	var body []byte
+	for i := 0; i < lines; i++ {
+		body = append(body, "item"+strconv.Itoa(i)+"\n"...)
+	}
+	for _, u := range coord.Shards() {
+		if err := client.New(u).Create("bench", server.CreateRequest{Type: "hll", P: 12, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, fails := coord.FanOutAdd("bench", body); len(fails) > 0 {
+		b.Fatalf("seed ingest failed: %v", fails)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		envs, fails := coord.Gather("bench")
+		if len(fails) > 0 {
+			b.Fatalf("gather failed: %v", fails)
+		}
+		if _, _, err := cluster.MergeEnvelopes(envs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// clusterRingRoute measures the pure routing lookup: one XXHash64 plus
+// a binary search over the 4-shard, 128-vnode ring.
+func clusterRingRoute(b *testing.B) {
+	ring, err := cluster.NewRing([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := ByteKeys()
+	b.SetBytes(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring.Shard(keys[i&(keyCount-1)])
+	}
+}

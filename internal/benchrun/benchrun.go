@@ -314,6 +314,9 @@ func Benchmarks() []NamedBench {
 			h.Sync()
 		}},
 		{"ServerCountMinIngest", serverCountMinIngest},
+		{"ClusterRingRoute", clusterRingRoute},
+		{"ClusterFanOutAdd4", clusterFanOutAdd},
+		{"ClusterScatterGather4", clusterScatterGather},
 		{"XXHash64String64B", func(b *testing.B) {
 			s := string(make([]byte, 64))
 			b.SetBytes(64)

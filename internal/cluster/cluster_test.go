@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// fleet spins up n in-process sketchd shards and a coordinator over
+// them, all torn down with the test.
+func fleet(t *testing.T, n int) (*Coordinator, []*httptest.Server) {
+	t.Helper()
+	shards := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range shards {
+		shards[i] = httptest.NewServer(server.New().Handler())
+		t.Cleanup(shards[i].Close)
+		urls[i] = shards[i].URL
+	}
+	coord, err := NewCoordinator(urls, Options{RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, shards
+}
+
+func coordClient(t *testing.T, coord *Coordinator) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(coord)
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+func ingestN(t *testing.T, cl *client.Client, name string, n int) {
+	t.Helper()
+	var batch bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&batch, "item-%d\n", i)
+		if batch.Len() > 1<<16 {
+			if err := cl.AddBatch(name, batch.Bytes()); err != nil {
+				t.Fatalf("AddBatch: %v", err)
+			}
+			batch.Reset()
+		}
+	}
+	if batch.Len() > 0 {
+		if err := cl.AddBatch(name, batch.Bytes()); err != nil {
+			t.Fatalf("AddBatch: %v", err)
+		}
+	}
+}
+
+// The tentpole correctness claim: a cluster-wide estimate equals what
+// one server would produce within the family's merge bounds, because
+// the global sketch IS the merge of the per-shard sketches.
+func TestCoordinatorGlobalEstimate(t *testing.T) {
+	coord, _ := fleet(t, 4)
+	cl := coordClient(t, coord)
+
+	if err := cl.Create("users", server.CreateRequest{Type: "hll", P: 14, Seed: 1}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	const n = 50_000
+	ingestN(t, cl, "users", n)
+
+	est, err := cl.Estimate("users", nil)
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	// p=14 HLL: σ ≈ 1.04/√2^14 ≈ 0.81%. Merged registers are exactly
+	// the single-server registers, so 5σ covers it with huge margin.
+	if relErr := math.Abs(est-n) / n; relErr > 5*0.0081 {
+		t.Errorf("cluster estimate %.0f vs true %d: %.2f%% error", est, n, 100*relErr)
+	}
+
+	// The merged envelope must agree with the per-shard envelopes
+	// merged by hand — scatter-gather adds routing, not new math.
+	single := server.New()
+	ss := httptest.NewServer(single.Handler())
+	defer ss.Close()
+	scl := client.New(ss.URL)
+	if err := scl.Create("users", server.CreateRequest{Type: "hll", P: 14, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, scl, "users", n)
+	sEst, err := scl.Estimate("users", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != sEst {
+		t.Errorf("cluster %.2f vs single-server %.2f: same items, same params — estimates must be identical", est, sEst)
+	}
+}
+
+// Routing sends all weight for one item to one shard, so point
+// frequency estimates survive sharding exactly.
+func TestCoordinatorWeightedRouting(t *testing.T) {
+	coord, shards := fleet(t, 3)
+	cl := coordClient(t, coord)
+
+	if err := cl.Create("freq", server.CreateRequest{Type: "countmin", Width: 4096, Depth: 4, Seed: 7}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var batch bytes.Buffer
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&batch, "hot\t3\n")
+		fmt.Fprintf(&batch, "noise-%d\n", i)
+	}
+	if err := cl.AddBatch("freq", batch.Bytes()); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	res, err := cl.Query("freq", url.Values{"item": {"hot"}})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if est := res["estimate"].(float64); est < 1500 {
+		t.Errorf("hot estimate %.0f, want >= 1500 (weight split across shards?)", est)
+	}
+	if merged := res["shards_merged"].(float64); merged != 3 {
+		t.Errorf("shards_merged %v, want 3", merged)
+	}
+
+	// All 500 "hot" updates landed on exactly one shard.
+	holders := 0
+	for _, sh := range shards {
+		scl := client.New(sh.URL)
+		r, err := scl.Query("freq", url.Values{"item": {"hot"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r["estimate"].(float64) >= 1500 {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Errorf("%d shards hold item 'hot', want exactly 1", holders)
+	}
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad JSON %q: %v", data, err)
+	}
+	return resp.StatusCode, doc
+}
+
+// A shard dying mid-operation must never produce a silently wrong
+// merge: reads fail with the shard named unless the caller opts into a
+// labeled partial answer.
+func TestCoordinatorPartialFailure(t *testing.T) {
+	coord, shards := fleet(t, 3)
+	ts := httptest.NewServer(coord)
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+
+	if err := cl.Create("users", server.CreateRequest{Type: "hll", P: 12, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, cl, "users", 10_000)
+
+	dead := shards[1]
+	dead.Close()
+
+	// Default read: 503, failed shard named in the structured error.
+	code, doc := getJSON(t, ts.URL+"/v1/sketch/users/query")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("query with dead shard: HTTP %d, want 503 (%v)", code, doc)
+	}
+	if !strings.Contains(fmt.Sprint(doc["failed_shards"]), dead.URL) {
+		t.Errorf("503 does not name dead shard %s: %v", dead.URL, doc)
+	}
+
+	// Opt-in degraded read: 200, labeled partial, still a sane
+	// estimate over the surviving ~2/3 of the keyspace.
+	code, doc = getJSON(t, ts.URL+"/v1/sketch/users/query?allow_partial=true")
+	if code != http.StatusOK {
+		t.Fatalf("allow_partial query: HTTP %d (%v)", code, doc)
+	}
+	if doc["partial"] != true {
+		t.Errorf("degraded answer not labeled partial: %v", doc)
+	}
+	if !strings.Contains(fmt.Sprint(doc["failed_shards"]), dead.URL) {
+		t.Errorf("partial answer does not name dead shard: %v", doc)
+	}
+	est := doc["estimate"].(float64)
+	if est < 10_000/3.0 || est > 10_000 {
+		t.Errorf("partial estimate %.0f implausible for 2/3 of 10000 keys", est)
+	}
+
+	// Ingest must fail loudly too — acknowledging a partially applied
+	// batch would silently skew every later estimate. Route a key that
+	// provably lives on the dead shard.
+	var batch bytes.Buffer
+	for i := 0; batch.Len() == 0; i++ {
+		key := fmt.Sprintf("probe-%d", i)
+		if coord.Ring().Shards()[coord.Ring().ShardString(key)] == dead.URL {
+			batch.WriteString(key + "\n")
+		}
+	}
+	err := cl.AddBatch("users", batch.Bytes())
+	if err == nil {
+		t.Fatal("ingest with dead shard succeeded")
+	}
+	if !strings.Contains(err.Error(), dead.URL) {
+		t.Errorf("ingest error does not name dead shard: %v", err)
+	}
+}
+
+// A shard that fails transiently is retried with backoff; the batch
+// lands without the client seeing the blip.
+func TestCoordinatorIngestRetry(t *testing.T) {
+	real := httptest.NewServer(server.New().Handler())
+	t.Cleanup(real.Close)
+
+	var failuresLeft atomic.Int32
+	failuresLeft.Store(2)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/add") && failuresLeft.Add(-1) >= 0 {
+			http.Error(w, `{"error":"synthetic overload"}`, http.StatusServiceUnavailable)
+			return
+		}
+		real.Config.Handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	coord, err := NewCoordinator([]string{flaky.URL}, Options{Retries: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := coordClient(t, coord)
+	if err := cl.Create("users", server.CreateRequest{Type: "hll", P: 12, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddBatch("users", []byte("a\nb\nc\n")); err != nil {
+		t.Fatalf("ingest through flaky shard: %v", err)
+	}
+	if got := coord.ops.Retries.Load(); got != 2 {
+		t.Errorf("retries counter %d, want 2", got)
+	}
+
+	// A 4xx is not retried: same request, same answer.
+	if err := cl.AddBatch("no-such-sketch", []byte("a\n")); err == nil {
+		t.Error("add to missing sketch succeeded")
+	}
+	var se *client.StatusError
+	if err := cl.Create("users", server.CreateRequest{Type: "hll", P: 12, Seed: 1}); err == nil {
+		t.Error("duplicate create succeeded")
+	} else if !asStatusError(err, &se) || se.Code != http.StatusConflict {
+		t.Errorf("duplicate create: %v, want 409 passed through", err)
+	}
+}
+
+func asStatusError(err error, target **client.StatusError) bool {
+	se, ok := err.(*client.StatusError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+// The coordinator serves the same API surface a single sketchd does:
+// a broadcast delete and per-shard status roll-up complete the story.
+func TestCoordinatorAdminSurface(t *testing.T) {
+	coord, _ := fleet(t, 3)
+	ts := httptest.NewServer(coord)
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+
+	if err := cl.Create("tmp", server.CreateRequest{Type: "hll", P: 10, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := coord.Status()
+	if st.Healthy != 3 {
+		t.Errorf("healthy %d, want 3", st.Healthy)
+	}
+	for _, row := range st.Shards {
+		if !row.OK || row.Status.Sketches != 1 {
+			t.Errorf("shard %s: ok=%v sketches=%d, want created everywhere", row.Shard, row.OK, row.Status.Sketches)
+		}
+	}
+	if err := cl.Delete("tmp"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	for _, row := range coord.Status().Shards {
+		if row.Status.Sketches != 0 {
+			t.Errorf("shard %s still holds %d sketches after cluster delete", row.Shard, row.Status.Sketches)
+		}
+	}
+
+	code, doc := getJSON(t, ts.URL+"/v1/cluster/status")
+	if code != http.StatusOK || doc["healthy"].(float64) != 3 {
+		t.Errorf("GET /v1/cluster/status: %d %v", code, doc)
+	}
+}
+
+// The merged snapshot endpoint emits a plain GSK1 envelope — feeding
+// it back through a single server's merge endpoint must work.
+func TestCoordinatorSnapshotRoundTrip(t *testing.T) {
+	coord, _ := fleet(t, 3)
+	cl := coordClient(t, coord)
+	if err := cl.Create("users", server.CreateRequest{Type: "hll", P: 12, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	ingestN(t, cl, "users", 5_000)
+	env, err := cl.Snapshot("users")
+	if err != nil {
+		t.Fatalf("cluster snapshot: %v", err)
+	}
+
+	single := httptest.NewServer(server.New().Handler())
+	t.Cleanup(single.Close)
+	scl := client.New(single.URL)
+	if err := scl.Create("import", server.CreateRequest{Type: "hll", P: 12, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := scl.Merge("import", env); err != nil {
+		t.Fatalf("merge cluster envelope into single server: %v", err)
+	}
+	est, err := scl.Estimate("import", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr := math.Abs(est-5000) / 5000; relErr > 0.05 {
+		t.Errorf("imported estimate %.0f, want ~5000", est)
+	}
+}

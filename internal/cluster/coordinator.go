@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mergex"
+	typereg "repro/internal/registry"
+	"repro/internal/server/client"
+)
+
+// Options configures a Coordinator. Zero values take the documented
+// defaults.
+type Options struct {
+	// VirtualNodes per shard on the routing ring. Default
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// MaxInflight bounds concurrent shard requests across all fan-outs
+	// (ingest and scatter-gather combined). Excess work queues on the
+	// semaphore rather than piling goroutines onto a slow shard.
+	// Default 4 × shard count.
+	MaxInflight int
+	// Retries is how many times a failed shard ingest request is
+	// retried (transport errors and 5xx only — a 4xx is the request's
+	// fault and repeats identically). Default 2.
+	Retries int
+	// RetryBackoff is the first retry's delay, doubled per attempt.
+	// Default 50ms.
+	RetryBackoff time.Duration
+	// HTTPClient overrides the pooled default for all shard calls.
+	HTTPClient *http.Client
+}
+
+func (o *Options) applyDefaults(shards int) {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4 * shards
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+}
+
+// CoordCounters are the coordinator's own operation counters,
+// surfaced on its /v1/status.
+type CoordCounters struct {
+	Adds           core.Counter // items routed and acknowledged by shards
+	AddBatches     core.Counter // client ingest requests
+	ShardRequests  core.Counter // shard HTTP calls issued (incl. retries)
+	Retries        core.Counter // shard calls retried
+	Queries        core.Counter // scatter-gather queries answered
+	PartialQueries core.Counter // queries answered with a shard missing
+	ShardFailures  core.Counter // shard calls that failed after retries
+}
+
+// CoordCountersSnapshot is the JSON rendering of CoordCounters.
+type CoordCountersSnapshot struct {
+	Adds           uint64 `json:"adds"`
+	AddBatches     uint64 `json:"add_batches"`
+	ShardRequests  uint64 `json:"shard_requests"`
+	Retries        uint64 `json:"retries"`
+	Queries        uint64 `json:"queries"`
+	PartialQueries uint64 `json:"partial_queries"`
+	ShardFailures  uint64 `json:"shard_failures"`
+}
+
+func (c *CoordCounters) snapshot() CoordCountersSnapshot {
+	return CoordCountersSnapshot{
+		Adds:           c.Adds.Load(),
+		AddBatches:     c.AddBatches.Load(),
+		ShardRequests:  c.ShardRequests.Load(),
+		Retries:        c.Retries.Load(),
+		Queries:        c.Queries.Load(),
+		PartialQueries: c.PartialQueries.Load(),
+		ShardFailures:  c.ShardFailures.Load(),
+	}
+}
+
+// Coordinator fronts a set of sketchd shards: creates broadcast,
+// ingest routes each item to its ring shard and fans the per-shard
+// sub-batches out in parallel, and reads scatter-gather every shard's
+// envelope and tree-merge them into the global answer. It holds no
+// sketch state of its own — shards own the data, the coordinator owns
+// the routing and the merge.
+type Coordinator struct {
+	ring    *Ring
+	shards  []string
+	clients []*client.Client
+	opts    Options
+	ops     CoordCounters
+	start   time.Time
+	sem     chan struct{}
+	mux     *http.ServeMux
+
+	routePool sync.Pool // *[][]byte per-shard ingest buckets
+}
+
+// NewCoordinator builds a coordinator over shard base URLs.
+func NewCoordinator(shards []string, opts Options) (*Coordinator, error) {
+	norm := make([]string, len(shards))
+	for i, s := range shards {
+		s = strings.TrimRight(s, "/")
+		if !strings.Contains(s, "://") {
+			s = "http://" + s
+		}
+		norm[i] = s
+	}
+	ring, err := NewRing(norm, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	opts.applyDefaults(len(shards))
+	c := &Coordinator{
+		ring:    ring,
+		shards:  ring.Shards(),
+		clients: make([]*client.Client, len(shards)),
+		opts:    opts,
+		start:   time.Now(),
+		sem:     make(chan struct{}, opts.MaxInflight),
+	}
+	for i, s := range c.shards {
+		if opts.HTTPClient != nil {
+			c.clients[i] = client.NewWithHTTPClient(s, opts.HTTPClient)
+		} else {
+			c.clients[i] = client.New(s)
+		}
+	}
+	c.routePool.New = func() any {
+		buckets := make([][]byte, len(c.shards))
+		for i := range buckets {
+			buckets[i] = make([]byte, 0, 16<<10)
+		}
+		return &buckets
+	}
+	c.buildMux()
+	return c, nil
+}
+
+// Ring returns the routing ring (read-only use).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Shards returns the shard base URLs.
+func (c *Coordinator) Shards() []string { return append([]string(nil), c.shards...) }
+
+// acquire takes an in-flight slot; the returned func releases it.
+func (c *Coordinator) acquire() func() {
+	c.sem <- struct{}{}
+	return func() { <-c.sem }
+}
+
+// ShardError is one failed shard call in a fan-out, with the shard
+// named — partial failures must never be anonymous.
+type ShardError struct {
+	Shard string `json:"shard"`
+	Err   string `json:"error"`
+}
+
+// retryable reports whether a shard call error is worth repeating:
+// transport-level failures (connection refused, timeouts) and 5xx
+// statuses. A 4xx means the request itself is bad and will fail again.
+func retryable(err error) bool {
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	return true // transport error
+}
+
+// callShard runs fn against one shard under the in-flight bound, with
+// retry + exponential backoff on retryable errors.
+func (c *Coordinator) callShard(shard int, fn func(cl *client.Client) error) error {
+	release := c.acquire()
+	defer release()
+	backoff := c.opts.RetryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		c.ops.ShardRequests.Inc()
+		if err = fn(c.clients[shard]); err == nil {
+			return nil
+		}
+		if attempt >= c.opts.Retries || !retryable(err) {
+			c.ops.ShardFailures.Inc()
+			return err
+		}
+		c.ops.Retries.Inc()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// broadcast runs fn against every shard concurrently and returns the
+// failures, shard-named.
+func (c *Coordinator) broadcast(fn func(cl *client.Client) error) []ShardError {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.callShard(i, fn)
+		}(i)
+	}
+	wg.Wait()
+	var out []ShardError
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, ShardError{Shard: c.shards[i], Err: err.Error()})
+		}
+	}
+	return out
+}
+
+// routeBatch splits a newline-delimited ingest body into per-shard
+// sub-batches by ring position. The routing key is the item only — a
+// trailing "\titem-weight" rides along to whichever shard the item
+// maps to, so all weight for one item lands on one shard. buckets must
+// hold ring.N() slices; their contents are appended to.
+func routeBatch(ring *Ring, body []byte, buckets [][]byte) (items int) {
+	for len(body) > 0 {
+		line := body
+		if i := indexByte(body, '\n'); i >= 0 {
+			line, body = body[:i], body[i+1:]
+		} else {
+			body = nil
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		key := line
+		if t := indexByte(line, '\t'); t >= 0 {
+			key = line[:t]
+		}
+		s := ring.Shard(key)
+		buckets[s] = append(buckets[s], line...)
+		buckets[s] = append(buckets[s], '\n')
+		items++
+	}
+	return items
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// FanOutAdd routes one ingest body across the shards and posts every
+// non-empty sub-batch in parallel. Returns the routed item count and
+// any shard failures (after retries). Items routed to a failed shard
+// are NOT silently dropped from the ack: callers surface the failure.
+func (c *Coordinator) FanOutAdd(name string, body []byte) (int, []ShardError) {
+	bp := c.routePool.Get().(*[][]byte)
+	buckets := *bp
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+	items := routeBatch(c.ring, body, buckets)
+
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.callShard(i, func(cl *client.Client) error {
+				return cl.AddBatch(name, buckets[i])
+			})
+		}(i)
+	}
+	wg.Wait()
+	var out []ShardError
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, ShardError{Shard: c.shards[i], Err: err.Error()})
+		}
+	}
+	*bp = buckets
+	c.routePool.Put(bp)
+	return items, out
+}
+
+// Gather scatter-gathers the named sketch's envelope from every shard.
+// Returns the envelopes that arrived and the failures, shard-named.
+func (c *Coordinator) Gather(name string) ([][]byte, []ShardError) {
+	envs := make([][]byte, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.callShard(i, func(cl *client.Client) error {
+				data, err := cl.Snapshot(name)
+				if err != nil {
+					return err
+				}
+				envs[i] = data
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	var ok [][]byte
+	var failed []ShardError
+	for i := range c.shards {
+		if errs[i] != nil {
+			failed = append(failed, ShardError{Shard: c.shards[i], Err: errs[i].Error()})
+			continue
+		}
+		ok = append(ok, envs[i])
+	}
+	return ok, failed
+}
+
+// MergeEnvelopes decodes same-type GSK1 envelopes and tree-merges them
+// across cores, returning the merged instance and its descriptor. The
+// registry's generic decode is what makes the coordinator family-
+// agnostic: any mergeable family a shard can serve, the cluster can
+// aggregate.
+func MergeEnvelopes(envs [][]byte) (any, *typereg.Descriptor, error) {
+	if len(envs) == 0 {
+		return nil, nil, fmt.Errorf("cluster: no envelopes to merge")
+	}
+	var d *typereg.Descriptor
+	insts := make([]any, 0, len(envs))
+	for i, env := range envs {
+		inst, id, err := typereg.Decode(env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: shard envelope %d: %w", i, err)
+		}
+		if d == nil {
+			d = id
+			if d.Bind.Merge == nil {
+				return nil, nil, fmt.Errorf("cluster: %s does not merge", d.Name)
+			}
+		} else if id != d {
+			return nil, nil, fmt.Errorf("%w: cluster mixes %s and %s envelopes", core.ErrIncompatible, d.Name, id.Name)
+		}
+		insts = append(insts, inst)
+	}
+	merged, err := mergex.Tree(insts, d.Bind.Merge)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, d, nil
+}

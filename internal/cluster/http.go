@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// The coordinator serves the same /v1/sketch surface as a single
+// sketchd, so every existing client (sketchcli, the loadgen, curl
+// scripts) points at a cluster unchanged:
+//
+//	POST   /v1/sketch/{name}           create, broadcast to all shards
+//	POST   /v1/sketch/{name}/add       ingest, ring-routed fan-out
+//	GET    /v1/sketch/{name}/query     scatter-gather + tree-merge
+//	GET    /v1/sketch/{name}/snapshot  merged global envelope
+//	DELETE /v1/sketch/{name}           broadcast
+//	GET    /v1/cluster/status          ring + per-shard health
+//	GET    /v1/status                  the coordinator's own counters
+//
+// Reads take ?allow_partial=true to accept a degraded answer when a
+// shard is down; the response then carries "partial": true plus the
+// failed shard names. Without it, a shard failure is a 503 naming the
+// shard — a silently incomplete merge is the one outcome the cluster
+// must never produce.
+
+const maxBodyBytes = 8 << 20 // match sketchd's ingest cap
+
+func (c *Coordinator) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sketch/{name}", c.handleCreate)
+	mux.HandleFunc("POST /v1/sketch/{name}/add", c.handleAdd)
+	mux.HandleFunc("GET /v1/sketch/{name}/query", c.handleQuery)
+	mux.HandleFunc("GET /v1/sketch/{name}/snapshot", c.handleSnapshot)
+	mux.HandleFunc("DELETE /v1/sketch/{name}", c.handleDelete)
+	mux.HandleFunc("GET /v1/cluster/status", c.handleClusterStatus)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	c.mux = mux
+}
+
+// ServeHTTP makes the coordinator an http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// shardFailure writes the 503 a failed fan-out produces: the failed
+// shards are named in both the error text and a structured field.
+func shardFailure(w http.ResponseWriter, op string, fails []ShardError) {
+	names := make([]string, len(fails))
+	for i, f := range fails {
+		names[i] = f.Shard
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":         fmt.Sprintf("%s failed on shard(s) %v", op, names),
+		"failed_shards": fails,
+	})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "read body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+func allowPartial(r *http.Request) bool {
+	return r.URL.Query().Get("allow_partial") == "true"
+}
+
+// handleCreate broadcasts the create to every shard — a cluster sketch
+// exists everywhere or nowhere. On partial failure the successful
+// shards are rolled back (best effort) so a retry does not hit
+// already-exists conflicts.
+func (c *Coordinator) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.callShard(i, func(cl *client.Client) error {
+				return cl.CreateRaw(name, body)
+			})
+		}(i)
+	}
+	wg.Wait()
+	var fails []ShardError
+	for i, err := range errs {
+		if err != nil {
+			fails = append(fails, ShardError{Shard: c.shards[i], Err: err.Error()})
+		}
+	}
+	if len(fails) > 0 {
+		for i, err := range errs {
+			if err == nil {
+				i := i
+				go c.callShard(i, func(cl *client.Client) error { return cl.Delete(name) })
+			}
+		}
+		// A 4xx from every shard (bad params, duplicate name) is the
+		// request's fault, not availability — pass the first one through.
+		if len(fails) == len(c.shards) {
+			if se := firstStatusError(errs); se != nil && se.Code < 500 {
+				httpError(w, se.Code, "%s", se.Msg)
+				return
+			}
+		}
+		shardFailure(w, "create", fails)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "shards": len(c.shards)})
+}
+
+// firstStatusError returns the first HTTP-status error in errs, nil if
+// every failure was transport-level.
+func firstStatusError(errs []error) *client.StatusError {
+	for _, err := range errs {
+		var se *client.StatusError
+		if errors.As(err, &se) {
+			return se
+		}
+	}
+	return nil
+}
+
+// handleAdd ring-routes the batch and fans the per-shard sub-batches
+// out in parallel. Any shard still failing after retries fails the
+// whole request with the shard named — acknowledging ingest that
+// partially happened would silently skew every later estimate.
+func (c *Coordinator) handleAdd(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	c.ops.AddBatches.Inc()
+	items, fails := c.FanOutAdd(name, body)
+	if len(fails) > 0 {
+		shardFailure(w, "add", fails)
+		return
+	}
+	c.ops.Adds.Add(uint64(items))
+	writeJSON(w, http.StatusOK, map[string]any{"added": items})
+}
+
+// gatherMerged runs the scatter-gather + tree-merge for a read. It
+// writes the error response itself when the read cannot be answered
+// under the request's partial-failure policy.
+func (c *Coordinator) gatherMerged(w http.ResponseWriter, r *http.Request, name string) (merged any, d *registry.Descriptor, fails []ShardError, ok bool) {
+	c.ops.Queries.Inc()
+	envs, fails := c.Gather(name)
+	if len(fails) > 0 && !allowPartial(r) {
+		shardFailure(w, "scatter-gather", fails)
+		return nil, nil, fails, false
+	}
+	if len(envs) == 0 {
+		shardFailure(w, "scatter-gather", fails)
+		return nil, nil, fails, false
+	}
+	if len(fails) > 0 {
+		c.ops.PartialQueries.Inc()
+	}
+	merged, d, err := MergeEnvelopes(envs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "merge shards: %v", err)
+		return nil, nil, fails, false
+	}
+	return merged, d, fails, true
+}
+
+// handleQuery answers the global query: every shard's envelope,
+// tree-merged, queried once through the family's own binding.
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	merged, d, fails, ok := c.gatherMerged(w, r, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	res, err := d.Bind.Query(merged, r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	res["shards_merged"] = c.ring.N() - len(fails)
+	if len(fails) > 0 {
+		res["partial"] = true
+		res["failed_shards"] = fails
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleSnapshot serves the merged global envelope — byte-compatible
+// with a single sketchd snapshot, so it feeds Merge, sketchcli
+// inspect, or another cluster.
+func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	merged, _, fails, ok := c.gatherMerged(w, r, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	env, err := registry.Marshal(merged)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "marshal: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if len(fails) > 0 {
+		w.Header().Set("X-Cluster-Partial", "true")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(env)
+}
+
+func (c *Coordinator) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	fails := c.broadcast(func(cl *client.Client) error { return cl.Delete(name) })
+	if len(fails) > 0 {
+		shardFailure(w, "delete", fails)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+}
+
+// ShardStatus is one shard's row in the cluster status.
+type ShardStatus struct {
+	Shard  string                 `json:"shard"`
+	OK     bool                   `json:"ok"`
+	Error  string                 `json:"error,omitempty"`
+	Status *server.StatusResponse `json:"status,omitempty"`
+}
+
+// ClusterStatus is GET /v1/cluster/status: ring shape, per-shard
+// health, and the coordinator's own counters.
+type ClusterStatus struct {
+	Shards       []ShardStatus         `json:"shards"`
+	VirtualNodes int                   `json:"virtual_nodes"`
+	Healthy      int                   `json:"healthy"`
+	Coordinator  CoordCountersSnapshot `json:"coordinator"`
+	UptimeS      float64               `json:"uptime_s"`
+}
+
+// Status polls every shard and assembles the cluster view.
+func (c *Coordinator) Status() ClusterStatus {
+	rows := make([]ShardStatus, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i].Shard = c.shards[i]
+			st, err := c.clients[i].Status()
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			rows[i].OK = true
+			rows[i].Status = &st
+		}(i)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, row := range rows {
+		if row.OK {
+			healthy++
+		}
+	}
+	vn := len(c.ring.points) / len(c.shards)
+	return ClusterStatus{
+		Shards:       rows,
+		VirtualNodes: vn,
+		Healthy:      healthy,
+		Coordinator:  c.ops.snapshot(),
+		UptimeS:      time.Since(c.start).Seconds(),
+	}
+}
+
+func (c *Coordinator) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":     "coordinator",
+		"shards":   c.shards,
+		"uptime_s": time.Since(c.start).Seconds(),
+		"ops":      c.ops.snapshot(),
+	})
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("key-%d", i))
+	}
+	return out
+}
+
+// With 128 virtual nodes per shard the per-shard key load must stay
+// near uniform — routing imbalance turns directly into ingest hotspots.
+func TestRingBalance(t *testing.T) {
+	shards := []string{"http://a:7600", "http://b:7600", "http://c:7600", "http://d:7600"}
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	counts := make([]int, len(shards))
+	for _, k := range keys(n) {
+		counts[r.Shard(k)]++
+	}
+	mean := float64(n) / float64(len(shards))
+	for i, c := range counts {
+		ratio := float64(c) / mean
+		if ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("shard %d holds %d keys (%.2fx mean); counts %v", i, c, ratio, counts)
+		}
+	}
+}
+
+// Placement hashes shard identities, not slice positions: two
+// coordinators configured with the same membership in different orders
+// must route every key identically.
+func TestRingOrderIndependence(t *testing.T) {
+	a := []string{"http://a:7600", "http://b:7600", "http://c:7600"}
+	b := []string{"http://c:7600", "http://a:7600", "http://b:7600"}
+	ra, _ := NewRing(a, 64)
+	rb, _ := NewRing(b, 64)
+	for _, k := range keys(5_000) {
+		if got, want := rb.Shards()[rb.Shard(k)], ra.Shards()[ra.Shard(k)]; got != want {
+			t.Fatalf("key %q: order A routes to %s, order B to %s", k, want, got)
+		}
+	}
+}
+
+// Removing one shard from a 4-shard ring must move only the removed
+// shard's keys (~25%) — the consistent-hashing contract. A modulo
+// router would move 75%.
+func TestRingMinimalMovement(t *testing.T) {
+	four := []string{"http://a:7600", "http://b:7600", "http://c:7600", "http://d:7600"}
+	three := four[:3]
+	r4, _ := NewRing(four, 0)
+	r3, _ := NewRing(three, 0)
+	const n = 100_000
+	moved, stayedOnDead := 0, 0
+	for _, k := range keys(n) {
+		s4 := r4.Shards()[r4.Shard(k)]
+		s3 := r3.Shards()[r3.Shard(k)]
+		if s4 == four[3] {
+			stayedOnDead++ // must be reassigned, doesn't count as churn
+			continue
+		}
+		if s4 != s3 {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving shards (want 0)", moved)
+	}
+	frac := float64(stayedOnDead) / float64(n)
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("removed shard owned %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty shard identity accepted")
+	}
+}
+
+func BenchmarkRingRoute(b *testing.B) {
+	r, _ := NewRing([]string{"a", "b", "c", "d", "e", "f", "g", "h"}, 0)
+	key := []byte("user-12345678")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Shard(key)
+	}
+}

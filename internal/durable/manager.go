@@ -98,6 +98,7 @@ type Manager struct {
 	ch      chan Record
 	syncReq chan chan error
 	snapReq chan chan error
+	sealReq chan chan error
 	quit    chan struct{}
 	kill    atomic.Bool
 	wg      sync.WaitGroup
@@ -116,7 +117,8 @@ type Manager struct {
 	// status atomics
 	snapLSN   atomic.Uint64
 	walBytes  atomic.Int64
-	lastFsync atomic.Int64 // unixnano; 0 until the first commit
+	lastFsync atomic.Int64  // unixnano; 0 until the first commit
+	activeSeq atomic.Uint64 // seq of the segment currently being written
 
 	recovered RecoveryStats
 }
@@ -134,6 +136,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 		ch:      make(chan Record, opts.QueueDepth),
 		syncReq: make(chan chan error, 1),
 		snapReq: make(chan chan error, 1),
+		sealReq: make(chan chan error, 1),
 		quit:    make(chan struct{}),
 		seq:     1,
 	}, nil
@@ -287,6 +290,21 @@ func (m *Manager) SnapshotNow() error {
 	}
 }
 
+// SealActive drains the append queue, commits, and rotates the active
+// WAL segment so every record appended before the call lives in a
+// sealed (immutable, shippable) segment. A segment holding no records
+// is not rotated — sealing an idle log is a no-op, so a replication
+// follower can poll it freely without growing the segment count.
+func (m *Manager) SealActive() error {
+	done := make(chan error, 1)
+	select {
+	case m.sealReq <- done:
+		return <-done
+	case <-m.quit:
+		return fmt.Errorf("durable: manager closed")
+	}
+}
+
 // Close drains the queue, fsyncs the WAL, writes a final snapshot, and
 // stops the syncer. The HTTP layer must stop producing appends first.
 func (m *Manager) Close() error {
@@ -358,6 +376,9 @@ func (m *Manager) run() {
 		case done := <-m.snapReq:
 			m.drainQueue()
 			done <- m.doSnapshot()
+		case done := <-m.sealReq:
+			m.drainQueue()
+			done <- m.sealActive()
 		case <-m.quit:
 			if m.kill.Load() {
 				// Simulated kill -9: drop buffered data on the floor.
@@ -462,7 +483,25 @@ func (m *Manager) openSegment() error {
 	m.walBytes.Store(m.activeBytes)
 	m.unsynced = 0
 	m.dirty = false
+	m.activeSeq.Store(m.seq)
 	return nil
+}
+
+// sealActive rotates the active segment (syncer goroutine only). Runs
+// the same flush + fsync + close + open-next sequence doSnapshot uses,
+// minus the snapshot itself.
+func (m *Manager) sealActive() error {
+	if m.activeBytes <= int64(walHeaderLen) {
+		return nil // no records since the last rotation: nothing to seal
+	}
+	if err := m.commit(); err != nil {
+		return err
+	}
+	m.w.Flush()
+	m.f.Sync()
+	m.f.Close()
+	m.seq++
+	return m.openSegment()
 }
 
 // doSnapshot is the snapshot + WAL-truncation protocol, run on the

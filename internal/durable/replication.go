@@ -1,0 +1,101 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Replication export surface. A leader ships two kinds of files to
+// followers, both already immutable on disk:
+//
+//   - sealed WAL segments — every segment whose seq is below the one
+//     currently being written. Sealing happens on snapshot rotation,
+//     size rotation, or an explicit SealActive (the replication
+//     endpoint lets followers request one, bounding staleness to the
+//     poll interval instead of the rotation interval);
+//   - snapshot files — committed via write-temp + fsync + rename, so a
+//     visible snap-*.snap is complete by construction.
+//
+// The active segment never ships: its bytes move under the syncer's
+// bufio writer, and a follower reading a half-written record would
+// tear it. Followers therefore replay only sealed history, and the
+// leader's wal_lsn minus the follower's applied LSN is the exact
+// replication lag in records.
+
+// SegmentInfo is one sealed WAL segment in a Shippable listing.
+type SegmentInfo struct {
+	Name string `json:"name"`
+	Seq  uint64 `json:"seq"`
+	Size int64  `json:"size"`
+}
+
+// ShippableState is the leader's replication manifest: the current
+// snapshot (empty Snapshot means none has been taken), every sealed
+// segment in ascending seq order, and the LSN frontier.
+type ShippableState struct {
+	WALLSN      uint64        `json:"wal_lsn"`
+	SnapshotLSN uint64        `json:"snapshot_lsn"`
+	Snapshot    string        `json:"snapshot,omitempty"`
+	Segments    []SegmentInfo `json:"segments"`
+}
+
+// Shippable reports the current replication manifest. Safe from any
+// goroutine: it reads the directory plus two atomics, and every file
+// it lists is immutable once listed (a concurrent snapshot may delete
+// sealed segments — the follower sees the 404 and re-syncs from the
+// newer snapshot).
+func (m *Manager) Shippable() ShippableState {
+	st := ShippableState{
+		WALLSN:      m.lsn.Load(),
+		SnapshotLSN: m.snapLSN.Load(),
+	}
+	if st.SnapshotLSN > 0 {
+		st.Snapshot = snapFileName(st.SnapshotLSN)
+	}
+	active := m.activeSeq.Load()
+	for _, name := range listByPrefixAsc(m.dir, "wal-", ".log") {
+		seq := walSeqFromName(name)
+		if active != 0 && seq >= active {
+			continue
+		}
+		info, err := os.Stat(filepath.Join(m.dir, name))
+		if err != nil {
+			continue
+		}
+		st.Segments = append(st.Segments, SegmentInfo{Name: name, Seq: seq, Size: info.Size()})
+	}
+	return st
+}
+
+// ReadShippable returns the bytes of one shippable file by name. Only
+// sealed WAL segments and snapshot files are served; the active
+// segment, the manifest, temp files, and anything path-shaped is
+// rejected — this is the validation gate for the HTTP file endpoint.
+func (m *Manager) ReadShippable(name string) ([]byte, error) {
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return nil, fmt.Errorf("durable: invalid shippable name %q", name)
+	}
+	switch {
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+		seq := walSeqFromName(name)
+		if active := m.activeSeq.Load(); active != 0 && seq >= active {
+			return nil, fmt.Errorf("durable: segment %s is active, not sealed", name)
+		}
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+	default:
+		return nil, fmt.Errorf("durable: %q is not a shippable file", name)
+	}
+	if strings.Contains(name, ".tmp-") {
+		return nil, fmt.Errorf("durable: %q is not a shippable file", name)
+	}
+	return os.ReadFile(filepath.Join(m.dir, name))
+}
+
+// DecodeSnapshotFile parses a shipped snapshot file into its sketch
+// rows — the follower-side entry point for snapshot-based catch-up.
+// Validation is all-or-nothing, exactly as in local recovery.
+func DecodeSnapshotFile(data []byte) ([]SketchSnap, error) {
+	return decodeSnapshot(data)
+}

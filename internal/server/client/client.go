@@ -10,10 +10,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/durable"
 	"repro/internal/server"
 )
 
@@ -25,9 +30,45 @@ type Client struct {
 	hc   *http.Client
 }
 
+// sharedTransport is the pooled transport behind every New client. One
+// transport for the whole process keeps the keep-alive pool shared
+// across clients (a loadgen spawning a client per goroutine reuses
+// connections instead of multiplying them), and its limits are tuned
+// for coordinator fan-out: enough idle connections per shard to keep
+// every core's requests pipelined, and explicit dial and
+// response-header timeouts so one dead shard turns into a prompt error
+// instead of an indefinitely hung scatter-gather slot. The stock
+// http.DefaultTransport has no response-header timeout and only 2 idle
+// connections per host — both wrong for fan-out.
+var sharedTransport = &http.Transport{
+	DialContext: (&net.Dialer{
+		Timeout:   2 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   maxIdlePerHost(),
+	IdleConnTimeout:       90 * time.Second,
+	ResponseHeaderTimeout: 15 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+}
+
+func maxIdlePerHost() int {
+	if n := runtime.GOMAXPROCS(0) * 2; n > 16 {
+		return n
+	}
+	return 16
+}
+
 // New creates a client for a base URL like "http://127.0.0.1:7600".
+// The client shares a process-wide transport with dial and
+// response-header timeouts plus an overall request deadline, so a call
+// against a dead or wedged server fails instead of hanging forever;
+// callers that need different limits use NewWithHTTPClient.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return NewWithHTTPClient(base, &http.Client{
+		Transport: sharedTransport,
+		Timeout:   60 * time.Second,
+	})
 }
 
 // NewWithHTTPClient creates a client using a caller-provided
@@ -158,6 +199,47 @@ func (c *Client) Statsz() (server.Statsz, error) {
 	return out, err
 }
 
+// CreateRaw registers a named sketch from a pre-encoded JSON
+// CreateRequest body — the coordinator's broadcast path, which
+// forwards the client's body verbatim instead of re-marshaling it.
+func (c *Client) CreateRaw(name string, body []byte) error {
+	return c.post(c.url(name, ""), "application/json", body, nil)
+}
+
+// ReplStatus polls the leader's replication manifest (sealed WAL
+// segments + current snapshot), reporting this follower's applied LSN
+// so the leader can surface its replication lag.
+func (c *Client) ReplStatus(applied uint64) (durable.ShippableState, error) {
+	var out durable.ShippableState
+	err := c.get(c.base+"/v1/repl/status?applied="+strconv.FormatUint(applied, 10), &out)
+	return out, err
+}
+
+// ReplFile fetches one shippable file (sealed WAL segment or snapshot)
+// by its manifest name.
+func (c *Client) ReplFile(name string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/v1/repl/file/" + url.PathEscape(name))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// ReplSeal asks the leader to rotate its active WAL segment so every
+// record appended so far becomes shippable — the freshness knob a
+// polling follower turns before each sync round.
+func (c *Client) ReplSeal() error {
+	return c.post(c.base+"/v1/repl/seal", "application/json", nil, nil)
+}
+
 func (c *Client) url(name, op string) string {
 	u := c.base + "/v1/sketch/" + url.PathEscape(name)
 	if op != "" {
@@ -216,12 +298,25 @@ func drainStatus(resp *http.Response) error {
 	return statusError(resp.StatusCode, data)
 }
 
+// StatusError is a non-2xx server response, carrying the HTTP status
+// so callers can distinguish permanent request errors (4xx) from
+// retryable server-side failures (5xx) — the coordinator's ingest
+// fan-out retries only the latter.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: HTTP %d: %s", e.Code, e.Msg)
+}
+
 func statusError(code int, body []byte) error {
 	var doc struct {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
-		return fmt.Errorf("client: HTTP %d: %s", code, doc.Error)
+		return &StatusError{Code: code, Msg: doc.Error}
 	}
-	return fmt.Errorf("client: HTTP %d: %s", code, bytes.TrimSpace(body))
+	return &StatusError{Code: code, Msg: string(bytes.TrimSpace(body))}
 }

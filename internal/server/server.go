@@ -64,6 +64,10 @@ type Server struct {
 	// (see EnableDurability). nil keeps the original in-memory-only
 	// behavior and the allocation-free ingest fast path.
 	dur *durable.Manager
+
+	// repl tracks replication state: follower polls seen by a leader,
+	// or the self-report a follower's replica loop installs.
+	repl replState
 }
 
 // New creates an empty server.
@@ -90,6 +94,9 @@ func New() *Server {
 	s.mux.HandleFunc("GET /v1/sketch", s.handleList)
 	s.mux.HandleFunc("GET /v1/types", s.handleTypes)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/repl/status", s.handleReplStatus)
+	s.mux.HandleFunc("GET /v1/repl/file/{name}", s.handleReplFile)
+	s.mux.HandleFunc("POST /v1/repl/seal", s.handleReplSeal)
 	s.mux.HandleFunc("GET /debug/statsz", s.handleStatsz)
 	return s
 }
@@ -364,12 +371,15 @@ func (s *Server) handleTypes(w http.ResponseWriter, _ *http.Request) {
 
 // StatusResponse is the GET /v1/status document: liveness plus the
 // durability gauges (wal_lsn, last_snapshot_lsn, wal_bytes,
-// last_fsync_age_ms; enabled=false when running in-memory only).
+// last_fsync_age_ms; enabled=false when running in-memory only) and
+// the replication block (leader lag in records once a follower has
+// polled, or a follower's own apply frontier).
 type StatusResponse struct {
-	UptimeSeconds float64         `json:"uptime_seconds"`
-	Sketches      int             `json:"sketches"`
-	Ops           core.OpSnapshot `json:"ops"`
-	Durability    durable.Status  `json:"durability"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Sketches      int               `json:"sketches"`
+	Ops           core.OpSnapshot   `json:"ops"`
+	Durability    durable.Status    `json:"durability"`
+	Replication   ReplicationStatus `json:"replication"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -378,6 +388,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Sketches:      len(s.reg.snapshot()),
 		Ops:           s.ops.Snapshot(),
 		Durability:    s.DurabilityStatus(),
+		Replication:   s.ReplicationStatus(),
 	})
 }
 

@@ -1,0 +1,128 @@
+#!/bin/sh
+# Cluster smoke test: stand up three sketchd shards (one durable) plus
+# a coordinator as real processes, drive ingest through the
+# coordinator, then exercise the partial-failure contract end to end:
+# kill -9 a shard, assert global reads fail 503 *naming* the dead
+# shard, assert ?allow_partial=true serves a labeled degraded
+# estimate, restart the shard from its WAL, and assert the global
+# estimate comes back exactly. CI runs this on every push
+# (cluster-smoke job) and archives the transcript.
+set -eu
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for p in $PIDS; do
+		kill "$p" 2>/dev/null || true
+	done
+	# Reap before rm: the durable shard writes a final snapshot on
+	# SIGTERM, and removing the tree under it races that write.
+	for p in $PIDS; do
+		wait "$p" 2>/dev/null || true
+	done
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+COORD=127.0.0.1:7700
+S1=127.0.0.1:7701
+S2=127.0.0.1:7702
+S3=127.0.0.1:7703
+
+wait_ready() {
+	i=0
+	while ! curl -fsS "http://$1/v1/status" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "FAIL: timeout waiting for $1" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+echo "== build"
+go build -o "$WORK/sketchd" ./cmd/sketchd
+
+echo "== start 3 shards (shard 3 durable) + coordinator"
+"$WORK/sketchd" -addr "$S1" &
+PIDS="$PIDS $!"
+"$WORK/sketchd" -addr "$S2" &
+PIDS="$PIDS $!"
+# fsync-interval 0 = fsync every batch: the kill -9 below must land
+# outside any group-commit loss window for the exact-recovery check.
+"$WORK/sketchd" -addr "$S3" -data-dir "$WORK/shard3" -fsync-interval 0 &
+S3_PID=$!
+PIDS="$PIDS $S3_PID"
+"$WORK/sketchd" -coordinator -shards "$S1,$S2,$S3" -addr "$COORD" &
+PIDS="$PIDS $!"
+for h in "$S1" "$S2" "$S3" "$COORD"; do wait_ready "$h"; done
+
+echo "== create + ingest 50000 distinct items through the coordinator"
+curl -fsS -X POST "http://$COORD/v1/sketch/users" -d '{"type":"hll","p":12}' >/dev/null
+seq 1 50000 | sed 's/^/user-/' |
+	curl -fsS -X POST --data-binary @- "http://$COORD/v1/sketch/users/add" >/dev/null
+
+EST=$(curl -fsS "http://$COORD/v1/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+echo "global estimate: $EST (true 50000)"
+awk -v e="$EST" 'BEGIN { d = e / 50000; if (d < 0.95 || d > 1.05) exit 1 }' ||
+	{ echo "FAIL: estimate $EST outside 5% of 50000"; exit 1; }
+
+HEALTHY=$(curl -fsS "http://$COORD/v1/cluster/status" | grep -o '"healthy":[0-9]*')
+echo "cluster status: $HEALTHY"
+[ "$HEALTHY" = '"healthy":3' ] || { echo "FAIL: want 3 healthy shards"; exit 1; }
+
+# Shard 3's own estimate, for the exact-recovery check: a partial
+# ingest below only touches the surviving shards, so shard 3 must come
+# back from its WAL with precisely this state.
+S3EST=$(curl -fsS "http://$S3/v1/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+echo "shard 3 estimate before kill: $S3EST"
+
+echo "== kill -9 shard 3, assert degraded reads name it"
+kill -9 "$S3_PID"
+wait "$S3_PID" 2>/dev/null || true
+
+CODE=$(curl -s -o "$WORK/body" -w '%{http_code}' "http://$COORD/v1/sketch/users/query")
+echo "strict query after kill: HTTP $CODE $(cat "$WORK/body")"
+[ "$CODE" = 503 ] || { echo "FAIL: want 503, got $CODE"; exit 1; }
+grep -q "$S3" "$WORK/body" || { echo "FAIL: 503 body does not name dead shard $S3"; exit 1; }
+
+CODE=$(curl -s -o "$WORK/body" -w '%{http_code}' "http://$COORD/v1/sketch/users/query?allow_partial=true")
+echo "partial query after kill: HTTP $CODE $(cat "$WORK/body")"
+[ "$CODE" = 200 ] || { echo "FAIL: allow_partial want 200, got $CODE"; exit 1; }
+grep -q '"partial":true' "$WORK/body" || { echo "FAIL: degraded read not labeled partial"; exit 1; }
+grep -q "$S3" "$WORK/body" || { echo "FAIL: partial body does not name dead shard"; exit 1; }
+
+# A 200-key batch is certain to route at least one key to the dead
+# shard's arc of the ring, so the fan-out must fail loudly.
+CODE=$(seq 1 200 | sed 's/^/probe-/' | curl -s -o "$WORK/body" -w '%{http_code}' -X POST --data-binary @- "http://$COORD/v1/sketch/users/add" || true)
+echo "ingest after kill: HTTP $CODE"
+[ "$CODE" = 503 ] || { echo "FAIL: ingest with dead shard want 503, got $CODE"; exit 1; }
+
+echo "== restart shard 3 from its WAL, assert exact recovery"
+"$WORK/sketchd" -addr "$S3" -data-dir "$WORK/shard3" -fsync-interval 0 &
+PIDS="$PIDS $!"
+wait_ready "$S3"
+
+S3EST2=$(curl -fsS "http://$S3/v1/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+echo "shard 3 estimate after recovery: $S3EST2"
+[ "$S3EST2" = "$S3EST" ] || { echo "FAIL: shard 3 state changed across crash+recovery: $S3EST -> $S3EST2"; exit 1; }
+
+# Retrying the probe batch now succeeds everywhere (HLL ingest is
+# idempotent on the shards that already absorbed their slice), and the
+# cluster is whole again.
+seq 1 200 | sed 's/^/probe-/' |
+	curl -fsS -X POST --data-binary @- "http://$COORD/v1/sketch/users/add" >/dev/null
+EST2=$(curl -fsS "http://$COORD/v1/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+echo "global estimate after recovery + retried batch: $EST2 (true 50200)"
+awk -v e="$EST2" 'BEGIN { d = e / 50200; if (d < 0.95 || d > 1.05) exit 1 }' ||
+	{ echo "FAIL: estimate $EST2 outside 5% of 50200"; exit 1; }
+HEALTHY=$(curl -fsS "http://$COORD/v1/cluster/status" | grep -o '"healthy":[0-9]*')
+[ "$HEALTHY" = '"healthy":3' ] || { echo "FAIL: want 3 healthy shards after recovery"; exit 1; }
+
+echo "PASS: cluster smoke (3 shards + coordinator, kill -9 + WAL recovery)"
