@@ -49,6 +49,8 @@ func shardList(s string) ([]string, error) {
 func runClusterStatus(args []string) error {
 	fs := flag.NewFlagSet("cluster status", flag.ExitOnError)
 	shards := fs.String("shards", "", "comma-separated shard base URLs")
+	tenant := fs.String("tenant", "", "show only this tenant's per-shard row (default: all tenants)")
+	tenants := fs.Bool("tenants", false, "print a per-tenant row under each shard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +79,15 @@ func runClusterStatus(args []string) error {
 				st.Replication.Leader, st.Replication.AppliedLSN, st.Replication.LagRecords)
 		}
 		fmt.Println(line)
+		if *tenants || *tenant != "" {
+			for _, t := range st.Tenants {
+				if *tenant != "" && t.Tenant != *tenant {
+					continue
+				}
+				fmt.Printf("  tenant %-20s sketches %-3d resident %-10d adds %-10d queries %-8d evictions %d\n",
+					t.Tenant, t.Sketches, t.ResidentBytes, t.Adds, t.Queries, t.Evictions)
+			}
+		}
 	}
 	if down > 0 {
 		return fmt.Errorf("%d of %d shards down", down, len(urls))
@@ -88,6 +99,7 @@ func runClusterMerge(args []string) error {
 	fs := flag.NewFlagSet("cluster merge", flag.ExitOnError)
 	shards := fs.String("shards", "", "comma-separated shard base URLs")
 	name := fs.String("name", "", "sketch name to gather")
+	tenant := fs.String("tenant", "", "tenant namespace to gather from (default: the default tenant)")
 	out := fs.String("o", "", "write the merged envelope here instead of summarizing it")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,7 +113,7 @@ func runClusterMerge(args []string) error {
 	}
 	envs := make([][]byte, 0, len(urls))
 	for _, u := range urls {
-		env, err := client.New(u).Snapshot(*name)
+		env, err := client.New(u).Tenant(*tenant).Snapshot(*name)
 		if err != nil {
 			return fmt.Errorf("shard %s: %w", u, err)
 		}

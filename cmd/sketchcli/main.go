@@ -89,8 +89,10 @@ func usage() {
   inspect    <file>             identify and summarize any serialized sketch
   merge      -o out a b [...]   merge same-type serialized sketches
   types                         list every registered sketch family
-  cluster status -shards a,b    per-shard health, durability, replication lag
-  cluster merge  -shards a,b -name s [-o out]
+  cluster status -shards a,b [-tenants|-tenant t]
+                                per-shard health, durability, replication lag,
+                                optionally with per-tenant gauge rows
+  cluster merge  -shards a,b -name s [-tenant t] [-o out]
                                 scatter-gather a sketch and merge it locally`)
 }
 

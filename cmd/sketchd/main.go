@@ -27,6 +27,13 @@
 // queries). Ideal for many-writer ingest-heavy workloads; atomic (the
 // default) keeps reads exact to the last completed batch.
 //
+// Sketches live in tenant namespaces: /v1/t/{tenant}/sketch/... (or
+// the X-Sketch-Tenant header) scopes every call, the bare /v1 paths
+// address the "default" tenant unchanged, -tenant-max-sketches and
+// -tenant-max-bytes cap each namespace (429 on breach), and sketches
+// created with ttl_s are evicted by a WAL-logged background reaper
+// every -ttl-sweep-interval.
+//
 // Two cluster modes turn single sketchds into a fleet (internal/cluster):
 //
 //	sketchd -addr :7700 -coordinator -shards http://h1:7600,http://h2:7600
@@ -82,6 +89,12 @@ func main() {
 		"replication poll interval in follower mode")
 	followMirror := flag.String("follow-mirror", "",
 		"directory receiving byte-identical copies of shipped WAL segments and snapshots")
+	tenantMaxSketches := flag.Int("tenant-max-sketches", 0,
+		"per-tenant sketch-count quota (0: unlimited); breaches answer 429")
+	tenantMaxBytes := flag.Int64("tenant-max-bytes", 0,
+		"per-tenant resident-bytes quota (0: unlimited); breaches answer 429")
+	ttlSweep := flag.Duration("ttl-sweep-interval", 30*time.Second,
+		"interval between TTL eviction sweeps (<=0 disables the reaper; expired sketches then linger)")
 	flag.Parse()
 
 	if *coordinator {
@@ -100,6 +113,14 @@ func main() {
 	}
 
 	srv := server.New()
+	if *tenantMaxSketches > 0 || *tenantMaxBytes > 0 {
+		srv.SetTenantQuota(server.TenantQuota{
+			MaxSketches: *tenantMaxSketches,
+			MaxBytes:    *tenantMaxBytes,
+		})
+		log.Printf("sketchd: per-tenant quota: max %d sketches, %d resident bytes (0 = unlimited)",
+			*tenantMaxSketches, *tenantMaxBytes)
+	}
 	if *follow != "" && *dataDir != "" {
 		// Replicated state is the leader's history; a follower writing
 		// its own WAL would interleave two histories on restart.
@@ -118,6 +139,11 @@ func main() {
 		log.Printf("sketchd: durable in %s: recovered %d sketches (snapshot lsn %d), replayed %d WAL records",
 			*dataDir, stats.SketchesLoaded, stats.SnapshotLSN, stats.RecordsReplayed)
 	}
+
+	// The reaper starts after recovery so restored TTL sketches whose
+	// deadlines passed during downtime are swept (and WAL-logged) by the
+	// revived server, not resurrected silently.
+	srv.StartReaper(*ttlSweep)
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -155,6 +181,7 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("sketchd: shutdown: %v", err)
 	}
+	srv.StopReaper() // before the WAL closes: a mid-sweep eviction still logs
 	if err := srv.CloseDurability(); err != nil {
 		log.Printf("sketchd: closing durability: %v", err)
 	}

@@ -1,0 +1,101 @@
+package adtech
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// Audience overlap across serialized reach sketches ("Sketching
+// Intersection Profiles", Chierichetti et al.): given two campaign
+// sketches' envelopes, estimate |A ∩ B| by inclusion-exclusion —
+// |A| + |B| − |A ∪ B| — where the union estimate comes from merging
+// decoded copies. Works for any mergeable cardinality family (HLL,
+// KMV, theta, HLL++, …) because everything rides the registry's
+// generic decode/query/merge bindings; sketchd serves it as
+// GET /v1/t/{tenant}/overlap?sketches=a,b.
+
+// ErrNotCardinality rejects envelopes whose family has no scalar
+// "estimate" query (only cardinality sketches support overlap).
+var ErrNotCardinality = errors.New("adtech: overlap needs mergeable cardinality sketches")
+
+// OverlapEstimate is the inclusion-exclusion result.
+type OverlapEstimate struct {
+	Family  string  `json:"family"`
+	ReachA  float64 `json:"reach_a"`
+	ReachB  float64 `json:"reach_b"`
+	Union   float64 `json:"union"`
+	Overlap float64 `json:"overlap"`
+}
+
+// OverlapFromEnvelopes estimates the audience overlap between two
+// serialized sketches. Both must decode to the same mergeable
+// cardinality family; core.ErrIncompatible reports cross-family or
+// cross-shape pairs. The overlap is clamped to [0, min(|A|, |B|)] —
+// inclusion-exclusion can otherwise go slightly negative (or exceed a
+// set) from independent estimator noise.
+func OverlapFromEnvelopes(envA, envB []byte) (OverlapEstimate, error) {
+	instA, dA, err := registry.Decode(envA)
+	if err != nil {
+		return OverlapEstimate{}, fmt.Errorf("adtech: sketch a: %w", err)
+	}
+	instB, dB, err := registry.Decode(envB)
+	if err != nil {
+		return OverlapEstimate{}, fmt.Errorf("adtech: sketch b: %w", err)
+	}
+	if dA != dB {
+		return OverlapEstimate{}, fmt.Errorf("adtech: overlap across %s and %s: %w",
+			dA.Name, dB.Name, core.ErrIncompatible)
+	}
+	if dA.Bind.Merge == nil || dA.Bind.Query == nil {
+		return OverlapEstimate{}, fmt.Errorf("%w (family %s)", ErrNotCardinality, dA.Name)
+	}
+	out := OverlapEstimate{Family: dA.Name}
+	if out.ReachA, err = estimateOf(dA, instA); err != nil {
+		return OverlapEstimate{}, err
+	}
+	if out.ReachB, err = estimateOf(dA, instB); err != nil {
+		return OverlapEstimate{}, err
+	}
+	// instA and instB are private decoded copies, so merging B into A
+	// in place costs nothing observable.
+	if err := dA.Bind.Merge(instA, instB); err != nil {
+		return OverlapEstimate{}, fmt.Errorf("adtech: union merge: %w", err)
+	}
+	if out.Union, err = estimateOf(dA, instA); err != nil {
+		return OverlapEstimate{}, err
+	}
+	out.Overlap = out.ReachA + out.ReachB - out.Union
+	if lim := min(out.ReachA, out.ReachB); out.Overlap > lim {
+		out.Overlap = lim
+	}
+	if out.Overlap < 0 {
+		out.Overlap = 0
+	}
+	return out, nil
+}
+
+// estimateOf reads the family's scalar cardinality estimate from its
+// parameterless summary query.
+func estimateOf(d *registry.Descriptor, inst any) (float64, error) {
+	res, err := d.Bind.Query(inst, url.Values{})
+	if err != nil {
+		return 0, fmt.Errorf("adtech: estimate: %w", err)
+	}
+	switch v := res["estimate"].(type) {
+	case float64:
+		return v, nil
+	case uint64:
+		return float64(v), nil
+	case int64:
+		return float64(v), nil
+	case int:
+		return float64(v), nil
+	case uint32:
+		return float64(v), nil
+	}
+	return 0, fmt.Errorf("%w (family %s has no estimate)", ErrNotCardinality, d.Name)
+}

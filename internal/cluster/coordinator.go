@@ -220,11 +220,12 @@ func (c *Coordinator) broadcast(fn func(cl *client.Client) error) []ShardError {
 }
 
 // routeBatch splits a newline-delimited ingest body into per-shard
-// sub-batches by ring position. The routing key is the item only — a
-// trailing "\titem-weight" rides along to whichever shard the item
-// maps to, so all weight for one item lands on one shard. buckets must
-// hold ring.N() slices; their contents are appended to.
-func routeBatch(ring *Ring, body []byte, buckets [][]byte) (items int) {
+// sub-batches by ring position under a tenant routing seed (SeedFor).
+// The routing key is the item only — a trailing "\titem-weight" rides
+// along to whichever shard the item maps to, so all weight for one
+// item lands on one shard. buckets must hold ring.N() slices; their
+// contents are appended to.
+func routeBatch(ring *Ring, seed uint64, body []byte, buckets [][]byte) (items int) {
 	for len(body) > 0 {
 		line := body
 		if i := indexByte(body, '\n'); i >= 0 {
@@ -242,7 +243,7 @@ func routeBatch(ring *Ring, body []byte, buckets [][]byte) (items int) {
 		if t := indexByte(line, '\t'); t >= 0 {
 			key = line[:t]
 		}
-		s := ring.Shard(key)
+		s := ring.ShardSeeded(key, seed)
 		buckets[s] = append(buckets[s], line...)
 		buckets[s] = append(buckets[s], '\n')
 		items++
@@ -260,16 +261,24 @@ func indexByte(b []byte, c byte) int {
 }
 
 // FanOutAdd routes one ingest body across the shards and posts every
-// non-empty sub-batch in parallel. Returns the routed item count and
-// any shard failures (after retries). Items routed to a failed shard
-// are NOT silently dropped from the ack: callers surface the failure.
+// non-empty sub-batch in parallel, in the default tenant namespace.
 func (c *Coordinator) FanOutAdd(name string, body []byte) (int, []ShardError) {
+	return c.FanOutAddTenant("", name, body)
+}
+
+// FanOutAddTenant routes one ingest body across the shards under a
+// tenant's routing seed and posts every non-empty sub-batch in
+// parallel into that tenant's namespace ("" = default, legacy shard
+// paths). Returns the routed item count and any shard failures (after
+// retries). Items routed to a failed shard are NOT silently dropped
+// from the ack: callers surface the failure.
+func (c *Coordinator) FanOutAddTenant(tenant, name string, body []byte) (int, []ShardError) {
 	bp := c.routePool.Get().(*[][]byte)
 	buckets := *bp
 	for i := range buckets {
 		buckets[i] = buckets[i][:0]
 	}
-	items := routeBatch(c.ring, body, buckets)
+	items := routeBatch(c.ring, SeedFor(tenant), body, buckets)
 
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
@@ -281,7 +290,7 @@ func (c *Coordinator) FanOutAdd(name string, body []byte) (int, []ShardError) {
 		go func(i int) {
 			defer wg.Done()
 			errs[i] = c.callShard(i, func(cl *client.Client) error {
-				return cl.AddBatch(name, buckets[i])
+				return cl.Tenant(tenant).AddBatch(name, buckets[i])
 			})
 		}(i)
 	}
@@ -297,9 +306,16 @@ func (c *Coordinator) FanOutAdd(name string, body []byte) (int, []ShardError) {
 	return items, out
 }
 
-// Gather scatter-gathers the named sketch's envelope from every shard.
-// Returns the envelopes that arrived and the failures, shard-named.
+// Gather scatter-gathers the named sketch's envelope from every shard
+// in the default tenant namespace.
 func (c *Coordinator) Gather(name string) ([][]byte, []ShardError) {
+	return c.GatherTenant("", name)
+}
+
+// GatherTenant scatter-gathers the named sketch's envelope from every
+// shard in a tenant's namespace. Returns the envelopes that arrived
+// and the failures, shard-named.
+func (c *Coordinator) GatherTenant(tenant, name string) ([][]byte, []ShardError) {
 	envs := make([][]byte, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
@@ -308,7 +324,7 @@ func (c *Coordinator) Gather(name string) ([][]byte, []ShardError) {
 		go func(i int) {
 			defer wg.Done()
 			errs[i] = c.callShard(i, func(cl *client.Client) error {
-				data, err := cl.Snapshot(name)
+				data, err := cl.Tenant(tenant).Snapshot(name)
 				if err != nil {
 					return err
 				}

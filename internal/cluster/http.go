@@ -26,24 +26,51 @@ import (
 //	GET    /v1/cluster/status          ring + per-shard health
 //	GET    /v1/status                  the coordinator's own counters
 //
+// Every sketch route also exists under /v1/t/{tenant}/... (or with the
+// X-Sketch-Tenant header), forwarding to the same tenant namespace on
+// the shards; non-default tenants route keys under a tenant-derived
+// ring seed (SeedFor), so tenants spread independently. Group-by
+// ingest is deliberately NOT forwarded: its one-WAL-record atomicity
+// is a per-shard property, so it is served shard-local — point the
+// group-by producer at a shard, or at a single sketchd.
+//
 // Reads take ?allow_partial=true to accept a degraded answer when a
 // shard is down; the response then carries "partial": true plus the
-// failed shard names. Without it, a shard failure is a 503 naming the
-// shard — a silently incomplete merge is the one outcome the cluster
-// must never produce.
+// failed shard names, and every error or partial payload for a
+// tenant-scoped call carries the tenant label. Without it, a shard
+// failure is a 503 naming the shard — a silently incomplete merge is
+// the one outcome the cluster must never produce.
 
 const maxBodyBytes = 8 << 20 // match sketchd's ingest cap
 
 func (c *Coordinator) buildMux() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sketch/{name}", c.handleCreate)
-	mux.HandleFunc("POST /v1/sketch/{name}/add", c.handleAdd)
-	mux.HandleFunc("GET /v1/sketch/{name}/query", c.handleQuery)
-	mux.HandleFunc("GET /v1/sketch/{name}/snapshot", c.handleSnapshot)
-	mux.HandleFunc("DELETE /v1/sketch/{name}", c.handleDelete)
+	for _, p := range []string{"/v1", "/v1/t/{tenant}"} {
+		mux.HandleFunc("POST "+p+"/sketch/{name}", c.handleCreate)
+		mux.HandleFunc("POST "+p+"/sketch/{name}/add", c.handleAdd)
+		mux.HandleFunc("GET "+p+"/sketch/{name}/query", c.handleQuery)
+		mux.HandleFunc("GET "+p+"/sketch/{name}/snapshot", c.handleSnapshot)
+		mux.HandleFunc("DELETE "+p+"/sketch/{name}", c.handleDelete)
+	}
 	mux.HandleFunc("GET /v1/cluster/status", c.handleClusterStatus)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	c.mux = mux
+}
+
+// tenantOf extracts the request's tenant: the /v1/t/{tenant} route
+// value, else the X-Sketch-Tenant header. The default tenant
+// normalizes to "" so it forwards over the legacy shard paths and
+// routes with the unseeded ring — bit-identical to pre-tenant
+// clusters.
+func tenantOf(r *http.Request) string {
+	t := r.PathValue("tenant")
+	if t == "" {
+		t = r.Header.Get(server.TenantHeader)
+	}
+	if t == server.DefaultTenant {
+		return ""
+	}
+	return t
 }
 
 // ServeHTTP makes the coordinator an http.Handler.
@@ -62,16 +89,22 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // shardFailure writes the 503 a failed fan-out produces: the failed
-// shards are named in both the error text and a structured field.
-func shardFailure(w http.ResponseWriter, op string, fails []ShardError) {
+// shards are named in both the error text and a structured field, and
+// tenant-scoped calls carry the tenant label so a multi-tenant
+// operator can attribute the degradation.
+func shardFailure(w http.ResponseWriter, tenant, op string, fails []ShardError) {
 	names := make([]string, len(fails))
 	for i, f := range fails {
 		names[i] = f.Shard
 	}
-	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+	doc := map[string]any{
 		"error":         fmt.Sprintf("%s failed on shard(s) %v", op, names),
 		"failed_shards": fails,
-	})
+	}
+	if tenant != "" {
+		doc["tenant"] = tenant
+	}
+	writeJSON(w, http.StatusServiceUnavailable, doc)
 }
 
 func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
@@ -92,6 +125,7 @@ func allowPartial(r *http.Request) bool {
 // shards are rolled back (best effort) so a retry does not hit
 // already-exists conflicts.
 func (c *Coordinator) handleCreate(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
 	name := r.PathValue("name")
 	body, ok := readBody(w, r)
 	if !ok {
@@ -104,7 +138,7 @@ func (c *Coordinator) handleCreate(w http.ResponseWriter, r *http.Request) {
 		go func(i int) {
 			defer wg.Done()
 			errs[i] = c.callShard(i, func(cl *client.Client) error {
-				return cl.CreateRaw(name, body)
+				return cl.Tenant(tenant).CreateRaw(name, body)
 			})
 		}(i)
 	}
@@ -119,21 +153,26 @@ func (c *Coordinator) handleCreate(w http.ResponseWriter, r *http.Request) {
 		for i, err := range errs {
 			if err == nil {
 				i := i
-				go c.callShard(i, func(cl *client.Client) error { return cl.Delete(name) })
+				go c.callShard(i, func(cl *client.Client) error { return cl.Tenant(tenant).Delete(name) })
 			}
 		}
-		// A 4xx from every shard (bad params, duplicate name) is the
-		// request's fault, not availability — pass the first one through.
+		// A 4xx from every shard (bad params, duplicate name, quota) is
+		// the request's fault, not availability — pass the first one
+		// through.
 		if len(fails) == len(c.shards) {
 			if se := firstStatusError(errs); se != nil && se.Code < 500 {
 				httpError(w, se.Code, "%s", se.Msg)
 				return
 			}
 		}
-		shardFailure(w, "create", fails)
+		shardFailure(w, tenant, "create", fails)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "shards": len(c.shards)})
+	resp := map[string]any{"name": name, "shards": len(c.shards)}
+	if tenant != "" {
+		resp["tenant"] = tenant
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 // firstStatusError returns the first HTTP-status error in errs, nil if
@@ -153,15 +192,16 @@ func firstStatusError(errs []error) *client.StatusError {
 // whole request with the shard named — acknowledging ingest that
 // partially happened would silently skew every later estimate.
 func (c *Coordinator) handleAdd(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
 	name := r.PathValue("name")
 	body, ok := readBody(w, r)
 	if !ok {
 		return
 	}
 	c.ops.AddBatches.Inc()
-	items, fails := c.FanOutAdd(name, body)
+	items, fails := c.FanOutAddTenant(tenant, name, body)
 	if len(fails) > 0 {
-		shardFailure(w, "add", fails)
+		shardFailure(w, tenant, "add", fails)
 		return
 	}
 	c.ops.Adds.Add(uint64(items))
@@ -171,15 +211,15 @@ func (c *Coordinator) handleAdd(w http.ResponseWriter, r *http.Request) {
 // gatherMerged runs the scatter-gather + tree-merge for a read. It
 // writes the error response itself when the read cannot be answered
 // under the request's partial-failure policy.
-func (c *Coordinator) gatherMerged(w http.ResponseWriter, r *http.Request, name string) (merged any, d *registry.Descriptor, fails []ShardError, ok bool) {
+func (c *Coordinator) gatherMerged(w http.ResponseWriter, r *http.Request, tenant, name string) (merged any, d *registry.Descriptor, fails []ShardError, ok bool) {
 	c.ops.Queries.Inc()
-	envs, fails := c.Gather(name)
+	envs, fails := c.GatherTenant(tenant, name)
 	if len(fails) > 0 && !allowPartial(r) {
-		shardFailure(w, "scatter-gather", fails)
+		shardFailure(w, tenant, "scatter-gather", fails)
 		return nil, nil, fails, false
 	}
 	if len(envs) == 0 {
-		shardFailure(w, "scatter-gather", fails)
+		shardFailure(w, tenant, "scatter-gather", fails)
 		return nil, nil, fails, false
 	}
 	if len(fails) > 0 {
@@ -196,7 +236,8 @@ func (c *Coordinator) gatherMerged(w http.ResponseWriter, r *http.Request, name 
 // handleQuery answers the global query: every shard's envelope,
 // tree-merged, queried once through the family's own binding.
 func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
-	merged, d, fails, ok := c.gatherMerged(w, r, r.PathValue("name"))
+	tenant := tenantOf(r)
+	merged, d, fails, ok := c.gatherMerged(w, r, tenant, r.PathValue("name"))
 	if !ok {
 		return
 	}
@@ -206,6 +247,9 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res["shards_merged"] = c.ring.N() - len(fails)
+	if tenant != "" {
+		res["tenant"] = tenant
+	}
 	if len(fails) > 0 {
 		res["partial"] = true
 		res["failed_shards"] = fails
@@ -217,7 +261,7 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 // with a single sketchd snapshot, so it feeds Merge, sketchcli
 // inspect, or another cluster.
 func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	merged, _, fails, ok := c.gatherMerged(w, r, r.PathValue("name"))
+	merged, _, fails, ok := c.gatherMerged(w, r, tenantOf(r), r.PathValue("name"))
 	if !ok {
 		return
 	}
@@ -235,10 +279,11 @@ func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleDelete(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
 	name := r.PathValue("name")
-	fails := c.broadcast(func(cl *client.Client) error { return cl.Delete(name) })
+	fails := c.broadcast(func(cl *client.Client) error { return cl.Tenant(tenant).Delete(name) })
 	if len(fails) > 0 {
-		shardFailure(w, "delete", fails)
+		shardFailure(w, tenant, "delete", fails)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})

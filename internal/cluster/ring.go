@@ -106,6 +106,27 @@ func (r *Ring) ShardString(key string) int {
 	return r.locate(hashx.XXHash64String(key, ringSeed))
 }
 
+// SeedFor derives the routing seed for a tenant namespace. The default
+// namespace ("" or "default") keeps the plain ringSeed, so every
+// pre-tenant placement — and the bit-identity pins built on it — is
+// unchanged. Other tenants get a tenant-derived seed, decorrelating
+// their key→shard map from every other tenant's: one tenant's hot key
+// set cannot gang up on the same shard another tenant's does. Callers
+// compute the seed once per batch and route keys with ShardSeeded —
+// the per-key path stays hash + binary search, zero allocations.
+func SeedFor(tenant string) uint64 {
+	if tenant == "" || tenant == "default" {
+		return ringSeed
+	}
+	return hashx.XXHash64String(tenant, ringSeed)
+}
+
+// ShardSeeded routes a key under a tenant seed from SeedFor.
+// ShardSeeded(key, SeedFor("")) == Shard(key).
+func (r *Ring) ShardSeeded(key []byte, seed uint64) int {
+	return r.locate(hashx.XXHash64(key, seed))
+}
+
 // locate finds the first ring point at or clockwise of h by binary
 // search, wrapping past the last point to the first.
 func (r *Ring) locate(h uint64) int {

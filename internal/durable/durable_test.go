@@ -203,7 +203,7 @@ func TestManagerAppendSyncRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, rec := range sampleRecords() {
-		if lsn := m.Append(rec.Op, rec.Name, rec.Body); lsn != uint64(i+1) {
+		if lsn := m.Append(rec.Op, rec.Tenant, rec.Name, rec.Body); lsn != uint64(i+1) {
 			t.Fatalf("Append %d: lsn %d, want %d", i, lsn, i+1)
 		}
 	}
@@ -238,7 +238,7 @@ func TestManagerAppendSyncRecover(t *testing.T) {
 	if err := m2.Start(func() []SketchSnap { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if lsn := m2.Append(OpIngest, "hll-a", []byte("eps")); lsn != 5 {
+	if lsn := m2.Append(OpIngest, "", "hll-a", []byte("eps")); lsn != 5 {
 		t.Fatalf("post-recovery Append lsn %d, want 5", lsn)
 	}
 	m2.Close()
@@ -257,12 +257,12 @@ func TestManagerSnapshotTruncatesWAL(t *testing.T) {
 	if err := m.Start(func() []SketchSnap { return captured }); err != nil {
 		t.Fatal(err)
 	}
-	m.Append(OpCreate, "a", []byte(`{"type":"hll"}`))
-	m.Append(OpIngest, "a", []byte("x"))
+	m.Append(OpCreate, "", "a", []byte(`{"type":"hll"}`))
+	m.Append(OpIngest, "", "a", []byte("x"))
 	if err := m.SnapshotNow(); err != nil {
 		t.Fatal(err)
 	}
-	m.Append(OpIngest, "a", []byte("y")) // lands in the post-rotation segment
+	m.Append(OpIngest, "", "a", []byte("y")) // lands in the post-rotation segment
 	if err := m.Sync(); err != nil {
 		t.Fatal(err)
 	}
@@ -317,8 +317,8 @@ func TestRecoverTruncatesTornSegmentOnDisk(t *testing.T) {
 	m, _ := Open(dir, Options{FsyncInterval: 0})
 	m.Recover(&collectHandler{})
 	m.Start(func() []SketchSnap { return nil })
-	m.Append(OpCreate, "a", []byte(`{"type":"hll"}`))
-	m.Append(OpIngest, "a", []byte("x"))
+	m.Append(OpCreate, "", "a", []byte(`{"type":"hll"}`))
+	m.Append(OpIngest, "", "a", []byte("x"))
 	m.Sync()
 	m.Kill()
 

@@ -251,11 +251,12 @@ func (m *Manager) Start(capture func() []SketchSnap) error {
 
 // Append copies the record body, assigns the next LSN, and enqueues it
 // for the syncer; it blocks only when the queue is full (backpressure,
-// never loss). Returns the assigned LSN. Callers serialize Append with
-// the in-memory apply of the same sketch (per-entry lock) so per-sketch
-// WAL order matches apply order.
-func (m *Manager) Append(op byte, name string, body []byte) uint64 {
-	rec := Record{Op: op, Name: name}
+// never loss). Returns the assigned LSN. An empty tenant means the
+// default namespace. Callers serialize Append with the in-memory apply
+// of the same sketch (per-entry lock) so per-sketch WAL order matches
+// apply order.
+func (m *Manager) Append(op byte, tenant, name string, body []byte) uint64 {
+	rec := Record{Op: op, Tenant: tenant, Name: name}
 	if len(body) > 0 {
 		rec.Body = append(make([]byte, 0, len(body)), body...)
 	}

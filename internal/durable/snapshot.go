@@ -11,16 +11,20 @@ import (
 	"strings"
 )
 
-// Snapshot file format (version 1):
+// Snapshot file format:
 //
 //	header:  "DSN1" magic (4 bytes) + version byte
 //	records: u32 payload length
 //	         u32 CRC32C of the payload
-//	         payload:
+//	         payload (version 1):
 //	           u64 last applied LSN for this sketch
 //	           u32 name length + name bytes
 //	           u32 create-request length + JSON CreateRequest bytes
 //	           u32 data length + sketch MarshalBinary envelope
+//	         payload (version 2): as version 1, plus a
+//	           u32 tenant length + tenant bytes
+//	         field between the name and the create request (empty
+//	         tenant = default namespace, mirroring the WAL records).
 //
 // A snapshot is valid only if every record through EOF validates — a
 // torn snapshot is rejected whole and recovery falls back to the
@@ -28,13 +32,15 @@ import (
 // a torn file only exists if the filesystem itself lost the rename).
 const (
 	snapMagic   = "DSN1"
-	snapVersion = 1
+	snapVersion = 2
 )
 
 // SketchSnap is one sketch's row in a snapshot: everything needed to
 // reconstruct the live entry (creation parameters + serialized state)
 // plus the LSN up to which the state already includes WAL records.
+// An empty Tenant is the default namespace.
 type SketchSnap struct {
+	Tenant  string
 	Name    string
 	Req     []byte // JSON CreateRequest
 	LastLSN uint64
@@ -60,13 +66,13 @@ func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
 func encodeSnapshot(snaps []SketchSnap) []byte {
 	size := walHeaderLen
 	for _, s := range snaps {
-		size += recordOverhead + 8 + 4 + len(s.Name) + 4 + len(s.Req) + 4 + len(s.Data)
+		size += recordOverhead + 8 + 4 + len(s.Name) + 4 + len(s.Tenant) + 4 + len(s.Req) + 4 + len(s.Data)
 	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, snapMagic...)
 	buf = append(buf, snapVersion)
 	for _, s := range snaps {
-		payloadLen := 8 + 4 + len(s.Name) + 4 + len(s.Req) + 4 + len(s.Data)
+		payloadLen := 8 + 4 + len(s.Name) + 4 + len(s.Tenant) + 4 + len(s.Req) + 4 + len(s.Data)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
 		crcAt := len(buf)
 		buf = binary.LittleEndian.AppendUint32(buf, 0)
@@ -74,6 +80,8 @@ func encodeSnapshot(snaps []SketchSnap) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, s.LastLSN)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Name)))
 		buf = append(buf, s.Name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Tenant)))
+		buf = append(buf, s.Tenant...)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Req)))
 		buf = append(buf, s.Req...)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Data)))
@@ -92,6 +100,7 @@ func decodeSnapshot(data []byte) ([]SketchSnap, error) {
 	if data[4] == 0 || data[4] > snapVersion {
 		return nil, fmt.Errorf("%w: snapshot version %d, support <= %d", ErrCorruptLog, data[4], snapVersion)
 	}
+	version := data[4]
 	var out []SketchSnap
 	off := walHeaderLen
 	for off < len(data) {
@@ -120,6 +129,15 @@ func decodeSnapshot(data []byte) ([]SketchSnap, error) {
 		}
 		s.Name = string(p[:nameLen])
 		p = p[nameLen:]
+		if version >= 2 {
+			tenantLen := int(binary.LittleEndian.Uint32(p))
+			p = p[4:]
+			if tenantLen > len(p)-4 {
+				return nil, fmt.Errorf("%w: snapshot tenant overrun at %d", ErrCorruptLog, off)
+			}
+			s.Tenant = string(p[:tenantLen])
+			p = p[tenantLen:]
+		}
 		reqLen := int(binary.LittleEndian.Uint32(p))
 		p = p[4:]
 		if reqLen > len(p)-4 {

@@ -26,24 +26,33 @@ import (
 	"hash/crc32"
 )
 
-// WAL segment file format (version 1):
+// WAL segment file format:
 //
 //	header:  "DUR1" magic (4 bytes) + version byte
 //	records: u32 payload length
 //	         u32 CRC32C (Castagnoli) of the payload
-//	         payload:
+//	         payload (version 1):
 //	           u64 LSN (strictly increasing across the whole log)
 //	           u8  op (OpCreate/OpIngest/OpMerge/OpDelete)
 //	           u32 name length + name bytes
 //	           u32 body length + body bytes
+//	         payload (version 2): as version 1, plus a
+//	           u32 tenant length + tenant bytes
+//	         field between the name and the body, and OpGroupBy as a
+//	         valid op. The empty tenant means the default namespace, so
+//	         a version-1 record replays as a version-2 record with an
+//	         empty tenant — old DUR1 logs keep working unchanged.
 //
 // All integers little-endian. A record is valid only if its length
 // fits the remaining file, its CRC matches, its payload parses
 // exactly, and its LSN is strictly greater than the previous record's;
-// replay stops at the first violation (the valid prefix rule).
+// replay stops at the first violation (the valid prefix rule). The
+// record version is the segment header's: segments are homogeneous,
+// and a log directory may mix v1 segments (written before an upgrade)
+// with v2 segments appended after it.
 const (
 	walMagic   = "DUR1"
-	walVersion = 1
+	walVersion = 2
 
 	// walHeaderLen is the segment header size (magic + version).
 	walHeaderLen = 5
@@ -57,12 +66,15 @@ const (
 	MaxRecordBytes = 16 << 20
 )
 
-// WAL operation codes. Append-only: never renumber.
+// WAL operation codes. Append-only: never renumber. OpGroupBy exists
+// only in version-2 segments; in a version-1 segment it ends the valid
+// prefix like any other unknown op.
 const (
-	OpCreate byte = iota + 1 // body: JSON CreateRequest
-	OpIngest                 // body: raw newline-delimited batch
-	OpMerge                  // body: peer MarshalBinary envelope
-	OpDelete                 // body: empty
+	OpCreate  byte = iota + 1 // body: JSON CreateRequest
+	OpIngest                  // body: raw newline-delimited batch
+	OpMerge                   // body: peer MarshalBinary envelope
+	OpDelete                  // body: empty
+	OpGroupBy                 // body: JSON GroupBySpec line + '\n' + raw grouped batch
 )
 
 // castagnoli is the CRC32C table used for every checksum in this
@@ -78,12 +90,15 @@ func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
 // just stops at the last valid record.
 var ErrCorruptLog = errors.New("durable: corrupt log")
 
-// Record is one WAL entry.
+// Record is one WAL entry. Tenant is the namespace the sketch lives
+// in; empty means the default namespace (and is what every version-1
+// record decodes to).
 type Record struct {
-	LSN  uint64
-	Op   byte
-	Name string
-	Body []byte
+	LSN    uint64
+	Op     byte
+	Tenant string
+	Name   string
+	Body   []byte
 }
 
 // WALHeader returns a fresh segment header.
@@ -93,9 +108,30 @@ func WALHeader() []byte {
 	return append(h, walVersion)
 }
 
-// AppendRecord encodes one record onto buf in the DUR1 framing and
-// returns the extended slice.
+// AppendRecord encodes one record onto buf in the current (version 2)
+// DUR1 framing and returns the extended slice.
 func AppendRecord(buf []byte, r Record) []byte {
+	payloadLen := 8 + 1 + 4 + len(r.Name) + 4 + len(r.Tenant) + 4 + len(r.Body)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	crcAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // CRC placeholder
+	payloadAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, r.LSN)
+	buf = append(buf, r.Op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Name)))
+	buf = append(buf, r.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Tenant)))
+	buf = append(buf, r.Tenant...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Body)))
+	buf = append(buf, r.Body...)
+	binary.LittleEndian.PutUint32(buf[crcAt:], Checksum(buf[payloadAt:]))
+	return buf
+}
+
+// AppendRecordV1 encodes one record in the legacy version-1 framing
+// (no tenant field). It exists so tests and experiments can fabricate
+// pre-upgrade segments; live code always writes version 2.
+func AppendRecordV1(buf []byte, r Record) []byte {
 	payloadLen := 8 + 1 + 4 + len(r.Name) + 4 + len(r.Body)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
 	crcAt := len(buf)
@@ -111,11 +147,19 @@ func AppendRecord(buf []byte, r Record) []byte {
 	return buf
 }
 
-// parsePayload decodes a CRC-validated record payload. It must consume
-// the payload exactly; slop means a corrupt length field that happened
-// to checksum (impossible unless the CRC itself collided, but cheap to
-// reject).
-func parsePayload(p []byte) (Record, bool) {
+// WALHeaderV1 returns a legacy version-1 segment header, paired with
+// AppendRecordV1 for fabricating pre-upgrade logs in tests.
+func WALHeaderV1() []byte {
+	h := make([]byte, 0, walHeaderLen)
+	h = append(h, walMagic...)
+	return append(h, 1)
+}
+
+// parsePayload decodes a CRC-validated record payload in the given
+// segment version's layout. It must consume the payload exactly; slop
+// means a corrupt length field that happened to checksum (impossible
+// unless the CRC itself collided, but cheap to reject).
+func parsePayload(p []byte, version byte) (Record, bool) {
 	if len(p) < 8+1+4 {
 		return Record{}, false
 	}
@@ -128,12 +172,23 @@ func parsePayload(p []byte) (Record, bool) {
 	}
 	r.Name = string(p[:nameLen])
 	p = p[nameLen:]
+	maxOp := OpDelete
+	if version >= 2 {
+		maxOp = OpGroupBy
+		tenantLen := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if tenantLen < 0 || tenantLen > len(p)-4 {
+			return Record{}, false
+		}
+		r.Tenant = string(p[:tenantLen])
+		p = p[tenantLen:]
+	}
 	bodyLen := int(binary.LittleEndian.Uint32(p))
 	p = p[4:]
 	if bodyLen != len(p) {
 		return Record{}, false
 	}
-	if r.Op < OpCreate || r.Op > OpDelete {
+	if r.Op < OpCreate || r.Op > maxOp {
 		return Record{}, false
 	}
 	r.Body = p
@@ -158,6 +213,7 @@ func ReplayLog(data []byte, lastLSN uint64, fn func(Record) error) (consumed int
 	if data[4] == 0 || data[4] > walVersion {
 		return 0, last, fmt.Errorf("%w: segment version %d, support <= %d", ErrCorruptLog, data[4], walVersion)
 	}
+	version := data[4]
 	off := walHeaderLen
 	for {
 		if len(data)-off < recordOverhead {
@@ -172,7 +228,7 @@ func ReplayLog(data []byte, lastLSN uint64, fn func(Record) error) (consumed int
 		if Checksum(payload) != wantCRC {
 			return off, last, nil // corrupt record: stop at last valid LSN
 		}
-		rec, ok := parsePayload(payload)
+		rec, ok := parsePayload(payload, version)
 		if !ok || rec.LSN <= last {
 			return off, last, nil
 		}

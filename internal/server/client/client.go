@@ -25,9 +25,14 @@ import (
 // Client talks to one sketchd base URL. The zero value is not usable;
 // create with New. Safe for concurrent use — the underlying
 // http.Client pools keep-alive connections per goroutine.
+//
+// A client is optionally scoped to a tenant namespace via Tenant; an
+// unscoped client uses the legacy /v1/sketch paths, which the server
+// maps to the "default" tenant, so existing callers are unchanged.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	tenant string // "" = legacy paths (default namespace)
+	hc     *http.Client
 }
 
 // sharedTransport is the pooled transport behind every New client. One
@@ -76,6 +81,25 @@ func New(base string) *Client {
 func NewWithHTTPClient(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
+
+// Tenant returns a copy of the client scoped to a tenant namespace:
+// every sketch call goes through /v1/t/{tenant}/... instead of the
+// legacy paths. Tenant("") (and Tenant("default"), which the server
+// treats identically) returns the receiver unchanged — the legacy
+// paths already address the default namespace. The copy shares the
+// underlying http.Client, so connection pooling is unaffected.
+func (c *Client) Tenant(tenant string) *Client {
+	if tenant == "" || tenant == "default" {
+		return c
+	}
+	scoped := *c
+	scoped.tenant = tenant
+	return &scoped
+}
+
+// TenantName reports the tenant the client is scoped to ("" for the
+// legacy/default namespace).
+func (c *Client) TenantName() string { return c.tenant }
 
 // Create registers a named sketch.
 func (c *Client) Create(name string, req server.CreateRequest) error {
@@ -171,6 +195,87 @@ func (c *Client) Delete(name string) error {
 	return drainStatus(resp)
 }
 
+// ListPage is one page of GET /v1/sketch: the sketch rows plus the
+// cursor to pass back for the next page when the listing was
+// truncated at the requested limit.
+type ListPage struct {
+	Sketches []struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	} `json:"sketches"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// List fetches one page of the tenant's sketch listing. prefix filters
+// by name prefix, cursor resumes after a prior page's NextCursor, and
+// limit caps the page size (0 takes the server default).
+func (c *Client) List(prefix, cursor string, limit int) (ListPage, error) {
+	q := url.Values{}
+	if prefix != "" {
+		q.Set("prefix", prefix)
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	u := c.v1() + "/sketch"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var out ListPage
+	err := c.get(u, &out)
+	return out, err
+}
+
+// GroupByResult is the ack of a group-by ingest call.
+type GroupByResult struct {
+	Tenant  string `json:"tenant"`
+	Groups  int    `json:"groups"`
+	Created int    `json:"created"`
+	Added   uint64 `json:"added"`
+}
+
+// GroupBy posts one group<TAB>item batch to POST /v1/ingest/groupby,
+// fanning the batch into a sketch per group under a shared create
+// template. params carries the template query parameters (type is
+// required; prefix, ttl_s, and the CreateRequest convenience fields
+// are optional).
+func (c *Client) GroupBy(params url.Values, batch []byte) (GroupByResult, error) {
+	u := c.v1() + "/ingest/groupby"
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	var out GroupByResult
+	err := c.post(u, "text/plain", batch, &out)
+	return out, err
+}
+
+// OverlapResult is the audience-overlap estimate between two of the
+// tenant's cardinality sketches (GET /v1/overlap?sketches=a,b).
+type OverlapResult struct {
+	Tenant   string   `json:"tenant"`
+	Sketches []string `json:"sketches"`
+	Overlap  struct {
+		Family  string  `json:"family"`
+		ReachA  float64 `json:"reach_a"`
+		ReachB  float64 `json:"reach_b"`
+		Union   float64 `json:"union"`
+		Overlap float64 `json:"overlap"`
+	} `json:"overlap"`
+}
+
+// Overlap estimates |a ∩ b| by inclusion-exclusion across two
+// same-family cardinality sketches.
+func (c *Client) Overlap(a, b string) (OverlapResult, error) {
+	q := url.Values{"sketches": []string{a + "," + b}}
+	var out OverlapResult
+	err := c.get(c.v1()+"/overlap?"+q.Encode(), &out)
+	return out, err
+}
+
 // Types fetches the server's sketch type catalog (GET /v1/types):
 // every servable family with its parameter schema and ingest format.
 func (c *Client) Types() ([]server.TypeInfo, error) {
@@ -240,8 +345,17 @@ func (c *Client) ReplSeal() error {
 	return c.post(c.base+"/v1/repl/seal", "application/json", nil, nil)
 }
 
+// v1 returns the client's API prefix: "/v1" unscoped, or the
+// tenant-scoped "/v1/t/{tenant}".
+func (c *Client) v1() string {
+	if c.tenant == "" {
+		return c.base + "/v1"
+	}
+	return c.base + "/v1/t/" + url.PathEscape(c.tenant)
+}
+
 func (c *Client) url(name, op string) string {
-	u := c.base + "/v1/sketch/" + url.PathEscape(name)
+	u := c.v1() + "/sketch/" + url.PathEscape(name)
 	if op != "" {
 		u += "/" + op
 	}

@@ -49,6 +49,21 @@ func (s *Server) CloseDurability() error {
 	return err
 }
 
+// KillDurability simulates an unclean process death for recovery
+// tests and experiments: the WAL is barriered to disk, then the
+// durability subsystem is abandoned cold — syncer stopped mid-flight,
+// no drain, no final snapshot. The server must not serve afterward;
+// recovery is a fresh server over the same directory.
+func (s *Server) KillDurability() error {
+	if s.dur == nil {
+		return nil
+	}
+	err := s.dur.Sync()
+	s.dur.Kill()
+	s.dur = nil
+	return err
+}
+
 // DurabilityStatus reports the durability gauges (zero-valued Enabled
 // false when the server runs in-memory only).
 func (s *Server) DurabilityStatus() durable.Status {
@@ -64,21 +79,27 @@ func (s *Server) DurabilityStatus() durable.Status {
 // skipped (they remain recoverable only until the WAL truncates, which
 // cannot happen for registry families — all of them marshal).
 func (s *Server) captureAll() []durable.SketchSnap {
-	entries := s.reg.snapshot()
-	out := make([]durable.SketchSnap, 0, len(entries))
-	for _, ne := range entries {
-		ne.walMu.Lock()
-		data, err := ne.entry.Snapshot()
-		lsn := ne.lastLSN
-		ne.walMu.Unlock()
-		if err != nil {
-			continue
+	var out []durable.SketchSnap
+	for _, ts := range s.tenantsSnapshot() {
+		for _, ne := range ts.reg.snapshot() {
+			ne.walMu.Lock()
+			data, err := ne.entry.Snapshot()
+			lsn := ne.lastLSN
+			ne.walMu.Unlock()
+			if err != nil {
+				continue
+			}
+			req, err := json.Marshal(ne.entry.CreateReq())
+			if err != nil {
+				continue
+			}
+			out = append(out, durable.SketchSnap{
+				Tenant: ts.walName, Name: ne.name, Req: req, LastLSN: lsn, Data: data,
+			})
 		}
-		req, err := json.Marshal(ne.entry.CreateReq())
-		if err != nil {
-			continue
-		}
-		out = append(out, durable.SketchSnap{Name: ne.name, Req: req, LastLSN: lsn, Data: data})
+	}
+	if out == nil {
+		out = []durable.SketchSnap{}
 	}
 	return out
 }
@@ -108,8 +129,10 @@ func (r *replayer) RestoreSketch(sn durable.SketchSnap) error {
 	if err != nil {
 		return err
 	}
-	ne, err := r.s.reg.create(sn.Name, entry)
-	if err != nil {
+	ts := r.s.walTenantState(sn.Tenant)
+	ne := &namedEntry{name: sn.Name, entry: entry, expiresAt: req.expiryUnix()}
+	if err := ts.install(ne); err != nil {
+		entry.Close()
 		return err
 	}
 	ne.lastLSN = sn.LastLSN
@@ -117,12 +140,13 @@ func (r *replayer) RestoreSketch(sn durable.SketchSnap) error {
 }
 
 func (r *replayer) Replay(rec durable.Record) error {
+	ts := r.s.walTenantState(rec.Tenant)
 	switch rec.Op {
 	case durable.OpCreate:
 		if rec.LSN <= r.snapLSN {
 			return nil // the snapshot namespace already reflects it
 		}
-		if _, err := r.s.reg.get(rec.Name); err == nil {
+		if _, err := ts.reg.get(rec.Name); err == nil {
 			return nil // already restored from the snapshot
 		}
 		var req CreateRequest
@@ -133,13 +157,14 @@ func (r *replayer) Replay(rec durable.Record) error {
 		if err != nil {
 			return err
 		}
-		ne, err := r.s.reg.create(rec.Name, entry)
-		if err != nil {
+		ne := &namedEntry{name: rec.Name, entry: entry, expiresAt: req.expiryUnix()}
+		if err := ts.install(ne); err != nil {
+			entry.Close()
 			return err
 		}
 		ne.lastLSN = rec.LSN
 	case durable.OpIngest:
-		ne, err := r.s.reg.get(rec.Name)
+		ne, err := ts.reg.get(rec.Name)
 		if err != nil {
 			return nil // deleted later in the log, or never created: skip
 		}
@@ -151,7 +176,7 @@ func (r *replayer) Replay(rec durable.Record) error {
 		}
 		ne.lastLSN = rec.LSN
 	case durable.OpMerge:
-		ne, err := r.s.reg.get(rec.Name)
+		ne, err := ts.reg.get(rec.Name)
 		if err != nil {
 			return nil
 		}
@@ -166,9 +191,11 @@ func (r *replayer) Replay(rec durable.Record) error {
 		if rec.LSN <= r.snapLSN {
 			return nil
 		}
-		if ne := r.s.reg.remove(rec.Name); ne != nil {
+		if ne := ts.drop(rec.Name); ne != nil {
 			ne.entry.Close()
 		}
+	case durable.OpGroupBy:
+		return r.s.replayGroupBy(ts, rec)
 	default:
 		return fmt.Errorf("unknown WAL op %d", rec.Op)
 	}

@@ -43,6 +43,23 @@ type CreateRequest struct {
 	// (e.g. {"eps": 0.02} for gk, {"vertices": 512} for graphsketch).
 	// Unknown names are rejected.
 	Params map[string]float64 `json:"params,omitempty"`
+
+	// TTLSeconds, when > 0, schedules the sketch for eviction that many
+	// seconds after creation. The server stamps CreatedUnix before the
+	// create is WAL-logged, so replay reconstructs the same deadline and
+	// the reaper's WAL-logged delete keeps eviction exact across crash
+	// recovery. A client-supplied CreatedUnix is honored (clock skew is
+	// the caller's problem); 0 means "now" at the serving node.
+	TTLSeconds  int64 `json:"ttl_s,omitempty"`
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// expiryUnix returns the eviction deadline in unix seconds (0 = never).
+func (req CreateRequest) expiryUnix() int64 {
+	if req.TTLSeconds <= 0 {
+		return 0
+	}
+	return req.CreatedUnix + req.TTLSeconds
 }
 
 // rawParams folds the typed convenience fields into a schema-keyed

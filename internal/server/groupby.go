@@ -1,0 +1,298 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/durable"
+)
+
+// Group-by ingest (Gigascope-style GROUP BY over a stream): one POST
+// fans an event batch into a sketch per group, creating missing group
+// sketches on the fly from a shared CreateRequest template, and logs
+// the whole fan-out as ONE WAL record. Body lines are
+//
+//	group<TAB>item[<TAB>weight...]
+//
+// — the first tab splits the group key from the normal ingest line the
+// group's sketch receives. The sketch for group g is named Prefix+g.
+//
+// Query parameters: type (required), prefix, seed, ttl_s, and the
+// CreateRequest convenience fields (p, shards, width, depth, m, k, n,
+// fpr) as numbers; param.<name>=<v> addresses the full descriptor
+// schema. The WAL record body is the JSON GroupBySpec line + '\n' +
+// the raw batch, so replay re-runs the same fan-out deterministically
+// (group keys are applied in sorted order on both paths).
+type GroupBySpec struct {
+	Create CreateRequest `json:"create"`
+	Prefix string        `json:"prefix,omitempty"`
+}
+
+// groupSpecFromQuery builds the group-by template from URL parameters.
+func groupSpecFromQuery(q url.Values) (GroupBySpec, error) {
+	var spec GroupBySpec
+	var err error
+	spec.Prefix = q.Get("prefix")
+	c := &spec.Create
+	c.Type = q.Get("type")
+	if c.Type == "" {
+		return spec, fmt.Errorf("groupby: ?type= is required")
+	}
+	num := func(key string) float64 {
+		v := q.Get(key)
+		if v == "" || err != nil {
+			return 0
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil {
+			err = fmt.Errorf("groupby: bad %s=%q", key, v)
+		}
+		return f
+	}
+	c.Seed = uint64(num("seed"))
+	c.P = uint8(num("p"))
+	c.Shards = int(num("shards"))
+	c.Width = int(num("width"))
+	c.Depth = int(num("depth"))
+	c.M = uint64(num("m"))
+	c.K = int(num("k"))
+	c.NItems = uint64(num("n"))
+	c.FPR = num("fpr")
+	c.TTLSeconds = int64(num("ttl_s"))
+	for key := range q {
+		name, ok := strings.CutPrefix(key, "param.")
+		if !ok {
+			continue
+		}
+		if c.Params == nil {
+			c.Params = map[string]float64{}
+		}
+		c.Params[name] = num(key)
+	}
+	return spec, err
+}
+
+// splitGroups parses a group-by batch into per-group item lists, group
+// keys sorted (the canonical apply order). The item slices alias body.
+func splitGroups(body []byte) (groups map[string][][]byte, names []string, total int, err error) {
+	groups = map[string][][]byte{}
+	for _, line := range SplitBatch(body) {
+		tab := bytes.IndexByte(line, '\t')
+		if tab <= 0 {
+			return nil, nil, 0, fmt.Errorf("groupby: line %d missing group<TAB>item", total+1)
+		}
+		g := string(line[:tab])
+		groups[g] = append(groups[g], line[tab+1:])
+		total++
+	}
+	names = make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	return groups, names, total, nil
+}
+
+// groupEntries resolves (creating as needed) the sketch entry for each
+// sorted group key. Created entries carry the template's TTL and are
+// installed with gauges updated; they are persisted by the OpGroupBy
+// record itself, not individual creates.
+func groupEntries(ts *tenantState, spec GroupBySpec, names []string) (entries []*namedEntry, created int, err error) {
+	entries = make([]*namedEntry, 0, len(names))
+	for _, g := range names {
+		full := spec.Prefix + g
+		ne, gerr := ts.reg.get(full)
+		if gerr != nil {
+			entry, nerr := NewEntry(spec.Create)
+			if nerr != nil {
+				return nil, created, nerr
+			}
+			ne = &namedEntry{name: full, entry: entry, expiresAt: spec.Create.expiryUnix()}
+			if ierr := ts.install(ne); ierr != nil {
+				entry.Close() // lost a create race: use the winner
+				if ne, gerr = ts.reg.get(full); gerr != nil {
+					return nil, created, ierr
+				}
+			} else {
+				created++
+			}
+		}
+		entries = append(entries, ne)
+	}
+	return entries, created, nil
+}
+
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
+	if !validTenantName(tenant) {
+		httpError(w, http.StatusBadRequest, "invalid tenant name %q", tenant)
+		return
+	}
+	spec, err := groupSpecFromQuery(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if spec.Create.TTLSeconds > 0 && spec.Create.CreatedUnix == 0 {
+		spec.Create.CreatedUnix = time.Now().Unix()
+	}
+	// Validate the template once up front so a bad spec rejects the
+	// batch before any group sketch exists.
+	probe, err := NewEntry(spec.Create)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	probe.Close()
+
+	body, release, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	groups, names, total, err := splitGroups(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if total == 0 {
+		httpError(w, http.StatusBadRequest, "groupby: empty batch")
+		return
+	}
+
+	ts := s.tenantOrCreate(tenant)
+	newGroups := 0
+	for _, g := range names {
+		if _, gerr := ts.reg.get(spec.Prefix + g); gerr != nil {
+			newGroups++
+		}
+	}
+	if err := s.admitCreate(ts, newGroups); err != nil {
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+
+	var walBody []byte
+	if s.dur != nil {
+		specJSON, merr := json.Marshal(spec)
+		if merr != nil {
+			httpError(w, http.StatusBadRequest, "%v", merr)
+			return
+		}
+		walBody = make([]byte, 0, len(specJSON)+1+len(body))
+		walBody = append(append(append(walBody, specJSON...), '\n'), body...)
+	}
+
+	entries, created, err := groupEntries(ts, spec, names)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Apply every group, then log ONE record covering the whole call.
+	// All touched WAL locks are taken in sorted-name order (concurrent
+	// group-bys take the same order; single-sketch paths hold one lock
+	// at a time — no cycles), so apply + one append + LSN bookkeeping
+	// is atomic across the batch exactly as it is per sketch on the
+	// single-name paths. On a mid-batch apply error the record is still
+	// logged: replay applies groups in the same sorted order and stops
+	// at the same deterministic failure, keeping recovery byte-exact.
+	var applied uint64
+	var applyErr error
+	appliedThrough := -1
+	if s.dur != nil {
+		for _, ne := range entries {
+			ne.walMu.Lock()
+		}
+		for i, ne := range entries {
+			if aerr := ne.entry.Add(groups[names[i]]); aerr != nil {
+				applyErr = fmt.Errorf("group %q: %w", names[i], aerr)
+				break
+			}
+			ne.adds.Add(uint64(len(groups[names[i]])))
+			applied += uint64(len(groups[names[i]]))
+			appliedThrough = i
+		}
+		lsn := s.dur.Append(durable.OpGroupBy, ts.walName, spec.Prefix, walBody)
+		for i := 0; i <= appliedThrough; i++ {
+			entries[i].lastLSN = lsn
+		}
+		for _, ne := range entries {
+			ne.walMu.Unlock()
+		}
+	} else {
+		for i, ne := range entries {
+			if aerr := ne.entry.Add(groups[names[i]]); aerr != nil {
+				applyErr = fmt.Errorf("group %q: %w", names[i], aerr)
+				break
+			}
+			ne.adds.Add(uint64(len(groups[names[i]])))
+			applied += uint64(len(groups[names[i]]))
+		}
+	}
+	ts.adds.Add(applied)
+	s.ops.Adds.Add(applied)
+	s.ops.AddBatches.Inc()
+	s.ops.BatchBytes.Add(uint64(len(body)))
+	if applyErr != nil {
+		httpError(w, http.StatusBadRequest, "%v (groups before it were applied and logged)", applyErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant":  tenant,
+		"groups":  len(names),
+		"created": created,
+		"added":   applied,
+	})
+}
+
+// replayGroupBy re-runs a logged group-by fan-out during recovery:
+// recreate missing group sketches from the embedded template, apply
+// groups in sorted order, and skip any group whose sketch already
+// contains this record (snapshot-restored with LastLSN >= rec.LSN).
+// An apply error stops the fan-out at the same group the live path
+// stopped at — the error is surfaced so recovery logs it, and the
+// prior groups' state stands, matching the pre-crash server.
+func (s *Server) replayGroupBy(ts *tenantState, rec durable.Record) error {
+	nl := bytes.IndexByte(rec.Body, '\n')
+	if nl < 0 {
+		return fmt.Errorf("groupby record: missing spec line")
+	}
+	var spec GroupBySpec
+	if err := json.Unmarshal(rec.Body[:nl], &spec); err != nil {
+		return fmt.Errorf("groupby spec: %w", err)
+	}
+	groups, names, _, err := splitGroups(rec.Body[nl+1:])
+	if err != nil {
+		return err
+	}
+	for _, g := range names {
+		full := spec.Prefix + g
+		ne, gerr := ts.reg.get(full)
+		if gerr != nil {
+			entry, nerr := NewEntry(spec.Create)
+			if nerr != nil {
+				return nerr
+			}
+			ne = &namedEntry{name: full, entry: entry, expiresAt: spec.Create.expiryUnix()}
+			if ierr := ts.install(ne); ierr != nil {
+				entry.Close()
+				return ierr
+			}
+		} else if rec.LSN <= ne.lastLSN {
+			continue
+		}
+		if aerr := ne.entry.Add(groups[g]); aerr != nil {
+			return fmt.Errorf("group %q: %w", g, aerr)
+		}
+		ne.lastLSN = rec.LSN
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/adtech"
+	"repro/internal/core"
+)
+
+// handleOverlap serves GET /v1/t/{tenant}/overlap?sketches=a,b — the
+// audience-overlap (inclusion-exclusion) estimate across two of the
+// tenant's cardinality sketches. Cross-tenant names 404 like any other
+// lookup; mixed families 409.
+func (s *Server) handleOverlap(w http.ResponseWriter, r *http.Request) {
+	ts := s.tenant(tenantOf(r))
+	if ts == nil {
+		httpError(w, http.StatusNotFound, "%v", ErrNotFound)
+		return
+	}
+	names := strings.Split(r.URL.Query().Get("sketches"), ",")
+	if len(names) != 2 || names[0] == "" || names[1] == "" {
+		httpError(w, http.StatusBadRequest, "overlap: ?sketches=a,b names exactly two sketches")
+		return
+	}
+	envs := make([][]byte, 2)
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		names[i] = name
+		ne, err := ts.reg.get(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		env, err := ne.entry.Snapshot()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		envs[i] = env
+	}
+	est, err := adtech.OverlapFromEnvelopes(envs[0], envs[1])
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrIncompatible) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	ts.queries.Inc()
+	s.ops.Queries.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant":   ts.name,
+		"sketches": names,
+		"overlap":  est,
+	})
+}

@@ -208,9 +208,10 @@ func countAfterDamage(t *testing.T, batches int, damage func(path string, data [
 }
 
 // ingestRecordLen is the on-wire size of one "x"-batch ingest record
-// for the sketch named "cm": framing (8) + lsn (8) + op (1) +
-// name (4+2) + body (4+1).
-const ingestRecordLen = 8 + 8 + 1 + 4 + 2 + 4 + 1
+// for the sketch named "cm" in the default tenant: framing (8) +
+// lsn (8) + op (1) + name (4+2) + tenant (4+0, default is empty) +
+// body (4+1).
+const ingestRecordLen = 8 + 8 + 1 + 4 + 2 + 4 + 0 + 4 + 1
 
 func TestRecoveryTornTail(t *testing.T) {
 	// Torn mid-record write: the file ends 4 bytes short of the last

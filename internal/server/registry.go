@@ -3,7 +3,9 @@ package server
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hashx"
@@ -44,6 +46,14 @@ type namedEntry struct {
 	entry *Entry
 	adds  core.Counter
 
+	// expiresAt is the TTL deadline in unix seconds (0 = never).
+	// Immutable after install — set before the entry is published so
+	// the reaper never races a half-built row.
+	expiresAt int64
+	// bytes is the last measured SizeBytes, folded into the owning
+	// tenant's resident gauge (refreshed off the hot path).
+	bytes atomic.Int64
+
 	walMu   sync.Mutex
 	lastLSN uint64 // guarded by walMu (recovery writes it single-threaded)
 }
@@ -74,17 +84,17 @@ func (r *registry) get(name string) (*namedEntry, error) {
 	return e, nil
 }
 
-// create installs a new entry, failing if the name is taken.
-func (r *registry) create(name string, entry *Entry) (*namedEntry, error) {
-	s := r.stripeFor(name)
+// create installs a prepared entry (name, expiry, and gauges already
+// set by the caller), failing if the name is taken.
+func (r *registry) create(ne *namedEntry) error {
+	s := r.stripeFor(ne.name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.m[name]; ok {
-		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	if _, ok := s.m[ne.name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, ne.name)
 	}
-	ne := &namedEntry{name: name, entry: entry}
-	s.m[name] = ne
-	return ne, nil
+	s.m[ne.name] = ne
+	return nil
 }
 
 // remove deletes the named entry, returning it (nil if absent) so the
@@ -100,6 +110,27 @@ func (r *registry) remove(name string) *namedEntry {
 	}
 	delete(s.m, name)
 	return ne
+}
+
+// list returns up to limit entries sorted by name, restricted to a
+// name prefix, resuming strictly after the cursor name. more reports
+// whether entries past the returned page exist (the pagination
+// contract behind GET /v1/sketch?prefix=&limit=&cursor=).
+func (r *registry) list(prefix, after string, limit int) (page []*namedEntry, more bool) {
+	all := r.snapshot()
+	for _, ne := range all {
+		if prefix != "" && !strings.HasPrefix(ne.name, prefix) {
+			continue
+		}
+		if after != "" && ne.name <= after {
+			continue
+		}
+		if limit > 0 && len(page) == limit {
+			return page, true
+		}
+		page = append(page, ne)
+	}
+	return page, false
 }
 
 // snapshot returns all entries sorted by name.

@@ -148,9 +148,11 @@ func (s *Server) NewReplayer() durable.RecoveryHandler {
 // restored namespace is exactly the snapshot's, with no survivors from
 // the previous timeline.
 func (s *Server) ResetNamespace() {
-	for _, ne := range s.reg.snapshot() {
-		if removed := s.reg.remove(ne.name); removed != nil {
-			removed.entry.Close()
+	for _, ts := range s.tenantsSnapshot() {
+		for _, ne := range ts.reg.snapshot() {
+			if removed := ts.drop(ne.name); removed != nil {
+				removed.entry.Close()
+			}
 		}
 	}
 }

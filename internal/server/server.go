@@ -20,9 +20,20 @@
 //	                                   before absorption — see bundle.go)
 //	GET    /v1/sketch/{name}/snapshot  serialize out (octet-stream)
 //	DELETE /v1/sketch/{name}           drop the sketch
-//	GET    /v1/sketch                  list sketches
+//	GET    /v1/sketch                  list sketches (?prefix= ?limit= ?cursor=)
 //	GET    /v1/types                   servable types + parameter schemas
 //	GET    /debug/statsz               operation counters and per-sketch bytes
+//
+// Every sketch lives in a tenant namespace (tenant.go): the routes
+// above address the "default" tenant, and each /v1/sketch... route has
+// a tenant-scoped twin under /v1/t/{tenant}/sketch... (equivalently,
+// the X-Sketch-Tenant header scopes the legacy URLs). Tenant-only
+// surfaces:
+//
+//	POST /v1/t/{tenant}/ingest/groupby  fan one stream into per-group
+//	                                    sketches in one WAL-batched call
+//	GET  /v1/t/{tenant}/overlap         audience overlap across two
+//	                                    cardinality sketches (adtech)
 //
 // Every sketch family is described by a registry descriptor
 // (internal/registry); the handlers and Entry are fully generic over
@@ -38,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -53,12 +65,18 @@ const maxBodyBytes = 8 << 20
 // Server is the sketchd HTTP server. Create with New and mount
 // Handler on any net/http server.
 type Server struct {
-	reg       *registry
+	tmu     sync.RWMutex
+	tenants map[string]*tenantState
+	quota   TenantQuota
+
 	ops       core.OpCounters
 	start     time.Time
 	bufPool   sync.Pool // *[]byte request-body buffers
 	itemsPool sync.Pool // *[][]byte split-batch item headers
 	mux       *http.ServeMux
+
+	reaperStop chan struct{}
+	reaperWG   sync.WaitGroup
 
 	// dur, when non-nil, logs every mutation to the write-ahead log
 	// (see EnableDurability). nil keeps the original in-memory-only
@@ -73,8 +91,8 @@ type Server struct {
 // New creates an empty server.
 func New() *Server {
 	s := &Server{
-		reg:   newRegistry(),
-		start: time.Now(),
+		tenants: map[string]*tenantState{DefaultTenant: newTenantState(DefaultTenant)},
+		start:   time.Now(),
 	}
 	s.bufPool.New = func() any {
 		b := make([]byte, 0, 64<<10)
@@ -85,13 +103,19 @@ func New() *Server {
 		return &items
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/sketch/{name}", s.handleCreate)
-	s.mux.HandleFunc("POST /v1/sketch/{name}/add", s.handleAdd)
-	s.mux.HandleFunc("GET /v1/sketch/{name}/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/sketch/{name}/merge", s.handleMerge)
-	s.mux.HandleFunc("GET /v1/sketch/{name}/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("DELETE /v1/sketch/{name}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/sketch", s.handleList)
+	// Legacy (default-tenant) routes and their /v1/t/{tenant}/ twins
+	// share handlers; tenantOf picks the namespace per request.
+	for _, prefix := range []string{"/v1", "/v1/t/{tenant}"} {
+		s.mux.HandleFunc("POST "+prefix+"/sketch/{name}", s.handleCreate)
+		s.mux.HandleFunc("POST "+prefix+"/sketch/{name}/add", s.handleAdd)
+		s.mux.HandleFunc("GET "+prefix+"/sketch/{name}/query", s.handleQuery)
+		s.mux.HandleFunc("POST "+prefix+"/sketch/{name}/merge", s.handleMerge)
+		s.mux.HandleFunc("GET "+prefix+"/sketch/{name}/snapshot", s.handleSnapshot)
+		s.mux.HandleFunc("DELETE "+prefix+"/sketch/{name}", s.handleDelete)
+		s.mux.HandleFunc("GET "+prefix+"/sketch", s.handleList)
+		s.mux.HandleFunc("POST "+prefix+"/ingest/groupby", s.handleGroupBy)
+		s.mux.HandleFunc("GET "+prefix+"/overlap", s.handleOverlap)
+	}
 	s.mux.HandleFunc("GET /v1/types", s.handleTypes)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/repl/status", s.handleReplStatus)
@@ -139,6 +163,11 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, 
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
+	if !validTenantName(tenant) {
+		httpError(w, http.StatusBadRequest, "invalid tenant name %q", tenant)
+		return
+	}
 	name := r.PathValue("name")
 	body, release, ok := s.readBody(w, r)
 	if !ok {
@@ -150,27 +179,49 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "create body: %v", err)
 		return
 	}
+	// Stamp the creation time before the request is WAL-logged so
+	// recovery reconstructs the same TTL deadline.
+	if req.TTLSeconds > 0 && req.CreatedUnix == 0 {
+		req.CreatedUnix = time.Now().Unix()
+		stamped, err := json.Marshal(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "create body: %v", err)
+			return
+		}
+		body = stamped
+	}
 	entry, err := NewEntry(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ne, err := s.reg.create(name, entry)
-	if err != nil {
+	ts := s.tenantOrCreate(tenant)
+	if err := s.admitCreate(ts, 1); err != nil {
+		entry.Close()
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	ne := &namedEntry{name: name, entry: entry, expiresAt: req.expiryUnix()}
+	if err := ts.install(ne); err != nil {
+		entry.Close()
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
 	if s.dur != nil {
 		ne.walMu.Lock()
-		ne.lastLSN = s.dur.Append(durable.OpCreate, name, body)
+		ne.lastLSN = s.dur.Append(durable.OpCreate, ts.walName, name, body)
 		ne.walMu.Unlock()
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"name": name, "type": entry.Type()})
+	writeJSON(w, http.StatusCreated, map[string]any{"tenant": tenant, "name": name, "type": entry.Type()})
 }
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(w, r)
+	ts, e, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if s.overByteQuota(ts) {
+		httpError(w, http.StatusTooManyRequests, "tenant %q over resident-byte quota", ts.name)
 		return
 	}
 	body, release, ok := s.readBody(w, r)
@@ -197,7 +248,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		e.walMu.Lock()
 		err := e.entry.Add(items)
 		if err == nil {
-			e.lastLSN = s.dur.Append(durable.OpIngest, e.name, body)
+			e.lastLSN = s.dur.Append(durable.OpIngest, ts.walName, e.name, body)
 		}
 		e.walMu.Unlock()
 		if err != nil {
@@ -209,6 +260,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.adds.Add(uint64(len(items)))
+	ts.adds.Add(uint64(len(items)))
 	s.ops.Adds.Add(uint64(len(items)))
 	s.ops.AddBatches.Inc()
 	s.ops.BatchBytes.Add(uint64(len(body)))
@@ -216,7 +268,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(w, r)
+	ts, e, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
@@ -225,12 +277,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ts.queries.Inc()
 	s.ops.Queries.Inc()
 	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(w, r)
+	ts, e, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
@@ -262,7 +315,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		e.walMu.Lock()
 		err = e.entry.Merge(body)
 		if err == nil {
-			e.lastLSN = s.dur.Append(durable.OpMerge, e.name, body)
+			e.lastLSN = s.dur.Append(durable.OpMerge, ts.walName, e.name, body)
 		}
 		e.walMu.Unlock()
 	} else {
@@ -282,12 +335,13 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "%v", err)
 		return
 	}
+	ts.merges.Inc()
 	s.ops.Merges.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{"merged": true})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.lookup(w, r)
+	_, e, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
@@ -304,25 +358,53 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ne := s.reg.remove(name)
+	ts := s.tenant(tenantOf(r))
+	var ne *namedEntry
+	if ts != nil {
+		ne = ts.drop(name)
+	}
 	if ne == nil {
 		httpError(w, http.StatusNotFound, "no such sketch %q", name)
 		return
 	}
 	ne.entry.Close()
 	if s.dur != nil {
-		s.dur.Append(durable.OpDelete, name, nil)
+		s.dur.Append(durable.OpDelete, ts.walName, name, nil)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	entries := s.reg.snapshot()
-	out := make([]map[string]any, 0, len(entries))
-	for _, e := range entries {
+// listDefaultLimit bounds GET /v1/sketch replies when the caller sets
+// no ?limit= — a million-sketch tenant pages instead of serializing
+// everything in one response. Follow next_cursor to continue.
+const listDefaultLimit = 1000
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := listDefaultLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	out := []map[string]any{}
+	var page []*namedEntry
+	var more bool
+	if ts := s.tenant(tenantOf(r)); ts != nil {
+		page, more = ts.reg.list(q.Get("prefix"), q.Get("cursor"), limit)
+	}
+	for _, e := range page {
 		out = append(out, map[string]any{"name": e.name, "type": e.entry.Type()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sketches": out})
+	doc := map[string]any{"sketches": out}
+	if more {
+		doc["truncated"] = true
+		doc["next_cursor"] = page[len(page)-1].name
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // TypeParam is one parameter row of a /v1/types schema.
@@ -378,15 +460,25 @@ type StatusResponse struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Sketches      int               `json:"sketches"`
 	Ops           core.OpSnapshot   `json:"ops"`
+	Tenants       []TenantStat      `json:"tenants"`
 	Durability    durable.Status    `json:"durability"`
 	Replication   ReplicationStatus `json:"replication"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	tenants := s.tenantsSnapshot()
+	stats := make([]TenantStat, 0, len(tenants))
+	total := 0
+	for _, ts := range tenants {
+		st := ts.stat()
+		total += int(st.Sketches)
+		stats = append(stats, st)
+	}
 	writeJSON(w, http.StatusOK, StatusResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Sketches:      len(s.reg.snapshot()),
+		Sketches:      total,
 		Ops:           s.ops.Snapshot(),
+		Tenants:       stats,
 		Durability:    s.DurabilityStatus(),
 		Replication:   s.ReplicationStatus(),
 	})
@@ -394,10 +486,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 
 // SketchStat is one sketch's row on /debug/statsz.
 type SketchStat struct {
-	Name  string `json:"name"`
-	Type  string `json:"type"`
-	Bytes int    `json:"bytes"`
-	Adds  uint64 `json:"adds"`
+	Tenant string `json:"tenant,omitempty"`
+	Name   string `json:"name"`
+	Type   string `json:"type"`
+	Bytes  int    `json:"bytes"`
+	Adds   uint64 `json:"adds"`
 }
 
 // Statsz is the /debug/statsz response document.
@@ -405,6 +498,7 @@ type Statsz struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	AddsPerSec    float64         `json:"adds_per_sec"`
 	Ops           core.OpSnapshot `json:"ops"`
+	Tenants       []TenantStat    `json:"tenants"`
 	Sketches      []SketchStat    `json:"sketches"`
 }
 
@@ -419,24 +513,38 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	if uptime > 0 {
 		stats.AddsPerSec = float64(ops.Adds) / uptime
 	}
-	for _, e := range s.reg.snapshot() {
-		stats.Sketches = append(stats.Sketches, SketchStat{
-			Name:  e.name,
-			Type:  e.entry.Type(),
-			Bytes: e.entry.SizeBytes(),
-			Adds:  e.adds.Load(),
-		})
+	for _, ts := range s.tenantsSnapshot() {
+		ts.refreshResident() // statsz reads double as gauge refresh
+		stats.Tenants = append(stats.Tenants, ts.stat())
+		tenantLabel := ""
+		if ts.name != DefaultTenant {
+			tenantLabel = ts.name
+		}
+		for _, e := range ts.reg.snapshot() {
+			stats.Sketches = append(stats.Sketches, SketchStat{
+				Tenant: tenantLabel,
+				Name:   e.name,
+				Type:   e.entry.Type(),
+				Bytes:  int(e.bytes.Load()),
+				Adds:   e.adds.Load(),
+			})
+		}
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
 
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*namedEntry, bool) {
-	e, err := s.reg.get(r.PathValue("name"))
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*tenantState, *namedEntry, bool) {
+	ts := s.tenant(tenantOf(r))
+	if ts == nil {
+		httpError(w, http.StatusNotFound, "%v: %q", ErrNotFound, r.PathValue("name"))
+		return nil, nil, false
+	}
+	e, err := ts.reg.get(r.PathValue("name"))
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
-		return nil, false
+		return nil, nil, false
 	}
-	return e, true
+	return ts, e, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,12 +1,13 @@
 #!/bin/sh
 # Cluster smoke test: stand up three sketchd shards (one durable) plus
 # a coordinator as real processes, drive ingest through the
-# coordinator, then exercise the partial-failure contract end to end:
+# coordinator — in the default namespace AND through two tenant
+# namespaces — then exercise the partial-failure contract end to end:
 # kill -9 a shard, assert global reads fail 503 *naming* the dead
-# shard, assert ?allow_partial=true serves a labeled degraded
-# estimate, restart the shard from its WAL, and assert the global
-# estimate comes back exactly. CI runs this on every push
-# (cluster-smoke job) and archives the transcript.
+# shard, assert ?allow_partial=true serves a degraded estimate labeled
+# with both the shard and the tenant, restart the shard from its WAL,
+# and assert per-tenant state comes back exactly. CI runs this on
+# every push (cluster-smoke job) and archives the transcript.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -74,12 +75,33 @@ HEALTHY=$(curl -fsS "http://$COORD/v1/cluster/status" | grep -o '"healthy":[0-9]
 echo "cluster status: $HEALTHY"
 [ "$HEALTHY" = '"healthy":3' ] || { echo "FAIL: want 3 healthy shards"; exit 1; }
 
-# Shard 3's own estimate, for the exact-recovery check: a partial
-# ingest below only touches the surviving shards, so shard 3 must come
-# back from its WAL with precisely this state.
+echo "== two tenants through the coordinator: same sketch name, disjoint state"
+curl -fsS -X POST "http://$COORD/v1/t/acme/sketch/users" -d '{"type":"hll","p":12}' >/dev/null
+curl -fsS -X POST "http://$COORD/v1/t/globex/sketch/users" -d '{"type":"hll","p":12}' >/dev/null
+seq 1 20000 | sed 's/^/acme-/' |
+	curl -fsS -X POST --data-binary @- "http://$COORD/v1/t/acme/sketch/users/add" >/dev/null
+seq 1 5000 | sed 's/^/globex-/' |
+	curl -fsS -X POST --data-binary @- "http://$COORD/v1/t/globex/sketch/users/add" >/dev/null
+
+ACME=$(curl -fsS "http://$COORD/v1/t/acme/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+GLOBEX=$(curl -fsS "http://$COORD/v1/t/globex/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+echo "acme estimate: $ACME (true 20000), globex estimate: $GLOBEX (true 5000)"
+awk -v e="$ACME" 'BEGIN { d = e / 20000; if (d < 0.95 || d > 1.05) exit 1 }' ||
+	{ echo "FAIL: acme estimate $ACME outside 5% of 20000"; exit 1; }
+awk -v e="$GLOBEX" 'BEGIN { d = e / 5000; if (d < 0.95 || d > 1.05) exit 1 }' ||
+	{ echo "FAIL: globex estimate $GLOBEX outside 5% of 5000 (tenant state leaked?)"; exit 1; }
+
+# Shard 3's own estimates (default + acme namespaces), for the
+# exact-recovery check: a partial ingest below only touches the
+# surviving shards, so shard 3 must come back from its WAL with
+# precisely this state.
 S3EST=$(curl -fsS "http://$S3/v1/sketch/users/query" |
 	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
-echo "shard 3 estimate before kill: $S3EST"
+S3ACME=$(curl -fsS "http://$S3/v1/t/acme/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+echo "shard 3 estimates before kill: default $S3EST, acme $S3ACME"
 
 echo "== kill -9 shard 3, assert degraded reads name it"
 kill -9 "$S3_PID"
@@ -96,6 +118,20 @@ echo "partial query after kill: HTTP $CODE $(cat "$WORK/body")"
 grep -q '"partial":true' "$WORK/body" || { echo "FAIL: degraded read not labeled partial"; exit 1; }
 grep -q "$S3" "$WORK/body" || { echo "FAIL: partial body does not name dead shard"; exit 1; }
 
+# Tenant-scoped degradation carries the tenant label alongside the
+# dead shard, so a multi-tenant operator can attribute the failure.
+CODE=$(curl -s -o "$WORK/body" -w '%{http_code}' "http://$COORD/v1/t/acme/sketch/users/query")
+echo "strict acme query after kill: HTTP $CODE $(cat "$WORK/body")"
+[ "$CODE" = 503 ] || { echo "FAIL: tenant strict query want 503, got $CODE"; exit 1; }
+grep -q '"tenant":"acme"' "$WORK/body" || { echo "FAIL: tenant 503 not labeled with tenant"; exit 1; }
+grep -q "$S3" "$WORK/body" || { echo "FAIL: tenant 503 does not name dead shard"; exit 1; }
+
+CODE=$(curl -s -o "$WORK/body" -w '%{http_code}' "http://$COORD/v1/t/acme/sketch/users/query?allow_partial=true")
+echo "partial acme query after kill: HTTP $CODE $(cat "$WORK/body")"
+[ "$CODE" = 200 ] || { echo "FAIL: tenant allow_partial want 200, got $CODE"; exit 1; }
+grep -q '"partial":true' "$WORK/body" || { echo "FAIL: tenant degraded read not labeled partial"; exit 1; }
+grep -q '"tenant":"acme"' "$WORK/body" || { echo "FAIL: tenant degraded read not labeled with tenant"; exit 1; }
+
 # A 200-key batch is certain to route at least one key to the dead
 # shard's arc of the ring, so the fan-out must fail loudly.
 CODE=$(seq 1 200 | sed 's/^/probe-/' | curl -s -o "$WORK/body" -w '%{http_code}' -X POST --data-binary @- "http://$COORD/v1/sketch/users/add" || true)
@@ -109,8 +145,11 @@ wait_ready "$S3"
 
 S3EST2=$(curl -fsS "http://$S3/v1/sketch/users/query" |
 	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
-echo "shard 3 estimate after recovery: $S3EST2"
+S3ACME2=$(curl -fsS "http://$S3/v1/t/acme/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+echo "shard 3 estimates after recovery: default $S3EST2, acme $S3ACME2"
 [ "$S3EST2" = "$S3EST" ] || { echo "FAIL: shard 3 state changed across crash+recovery: $S3EST -> $S3EST2"; exit 1; }
+[ "$S3ACME2" = "$S3ACME" ] || { echo "FAIL: shard 3 acme tenant changed across crash+recovery: $S3ACME -> $S3ACME2"; exit 1; }
 
 # Retrying the probe batch now succeeds everywhere (HLL ingest is
 # idempotent on the shards that already absorbed their slice), and the
@@ -125,4 +164,15 @@ awk -v e="$EST2" 'BEGIN { d = e / 50200; if (d < 0.95 || d > 1.05) exit 1 }' ||
 HEALTHY=$(curl -fsS "http://$COORD/v1/cluster/status" | grep -o '"healthy":[0-9]*')
 [ "$HEALTHY" = '"healthy":3' ] || { echo "FAIL: want 3 healthy shards after recovery"; exit 1; }
 
-echo "PASS: cluster smoke (3 shards + coordinator, kill -9 + WAL recovery)"
+# Both tenants read whole again through the coordinator, still disjoint.
+ACME2=$(curl -fsS "http://$COORD/v1/t/acme/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+GLOBEX2=$(curl -fsS "http://$COORD/v1/t/globex/sketch/users/query" |
+	sed 's/.*"estimate":\([0-9.e+]*\).*/\1/')
+echo "tenant estimates after recovery: acme $ACME2, globex $GLOBEX2"
+awk -v e="$ACME2" 'BEGIN { d = e / 20000; if (d < 0.95 || d > 1.05) exit 1 }' ||
+	{ echo "FAIL: acme estimate $ACME2 outside 5% of 20000 after recovery"; exit 1; }
+awk -v e="$GLOBEX2" 'BEGIN { d = e / 5000; if (d < 0.95 || d > 1.05) exit 1 }' ||
+	{ echo "FAIL: globex estimate $GLOBEX2 outside 5% of 5000 after recovery"; exit 1; }
+
+echo "PASS: cluster smoke (3 shards + coordinator, 2 tenants, kill -9 + WAL recovery)"
