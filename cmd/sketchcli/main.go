@@ -38,6 +38,9 @@ import (
 	sketch "repro"
 	"repro/internal/mergex"
 	"repro/internal/registry"
+	"repro/internal/robust"
+	"repro/internal/robust/attack"
+	sketchclient "repro/internal/server/client"
 )
 
 func main() {
@@ -68,6 +71,8 @@ func main() {
 		err = runTypes(args)
 	case "cluster":
 		err = runCluster(args)
+	case "redteam":
+		err = runRedteam(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -79,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sketchcli <distinct|topk|quantiles|membership|f2|reach|inspect|merge|types|cluster> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sketchcli <distinct|topk|quantiles|membership|f2|reach|inspect|merge|types|cluster|redteam> [flags]
   distinct   [-p precision]     estimate distinct lines with HyperLogLog
   topk       [-k counters]      heavy hitters with SpaceSaving
   quantiles  [-q q1,q2,...]     numeric quantiles with KLL
@@ -93,7 +98,11 @@ func usage() {
                                 per-shard health, durability, replication lag,
                                 optionally with per-tenant gauge rows
   cluster merge  -shards a,b -name s [-tenant t] [-o out]
-                                scatter-gather a sketch and merge it locally`)
+                                scatter-gather a sketch and merge it locally
+  redteam    [-mode hll] [-p 10] [-seed 1] [-url http://host:7600 -sketch s]
+                                run the quadratic adaptive attack against a local
+                                estimator pair, or transfer it onto a live sketchd
+                                sketch sharing the seed`)
 }
 
 func scanLines(fn func(line string)) error {
@@ -362,6 +371,100 @@ func runTypes(args []string) error {
 		for _, p := range d.Params {
 			fmt.Printf("    -%-10s default %-8g [%g,%g]  %s\n", p.Name, p.Def, p.Min, p.Max, p.Doc)
 		}
+	}
+	return nil
+}
+
+// runRedteam mounts the universal adaptive attack (Cohen–Nelson–
+// Sarlós, see internal/robust/attack) from the command line: against a
+// local probe/victim pair of the chosen mode, or — with -url — a
+// transfer attack where the mask hunt runs against a local probe and
+// the masked set is replayed into a live sketchd sketch created with
+// the same seed. Prints the attack curve and a verdict.
+func runRedteam(args []string) error {
+	fs := flag.NewFlagSet("redteam", flag.ExitOnError)
+	mode := fs.String("mode", "hll",
+		"target: hll | kmv | switching | switching-kmv | noisy | subsampled | robustdistinct")
+	p := fs.Int("p", 10, "HLL precision for hll-backed modes (4-18)")
+	k := fs.Int("k", 0, "KMV minima for kmv modes (default 2^p)")
+	seed := fs.Uint64("seed", 1, "hash seed shared by probe and victim (sketchd default: 1)")
+	baseURL := fs.String("url", "", "live sketchd base URL (transfer attack)")
+	name := fs.String("sketch", "", "live victim sketch name (with -url)")
+	tenant := fs.String("tenant", "", "tenant namespace for the live victim")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k == 0 {
+		*k = 1 << *p
+	}
+	cfg := attack.Config{K: 1 << *p, Seed: *seed ^ 0xc1}
+	pair := func(mk func() robust.Estimator) (attack.Target, attack.Target) {
+		return attack.NewEstimatorTarget(mk()), attack.NewEstimatorTarget(mk())
+	}
+	var probe, victim attack.Target
+	switch *mode {
+	case "hll":
+		probe, victim = attack.NewHLLTarget(uint8(*p), *seed), attack.NewHLLTarget(uint8(*p), *seed)
+	case "kmv":
+		cfg.K = *k
+		probe, victim = attack.NewKMVTarget(*k, *seed), attack.NewKMVTarget(*k, *seed)
+	case "switching":
+		probe, victim = pair(func() robust.Estimator { return robust.NewSwitchingHLL(0.05, 24, uint8(*p), *seed) })
+	case "switching-kmv":
+		cfg.K = *k
+		probe, victim = pair(func() robust.Estimator { return robust.NewSwitchingKMV(0.05, 24, *k, *seed) })
+	case "noisy":
+		probe, victim = pair(func() robust.Estimator {
+			return robust.NewNoisy(sketch.NewHLL(uint8(*p), *seed), 0.1, *seed)
+		})
+	case "subsampled":
+		probe, victim = pair(func() robust.Estimator {
+			return robust.NewSubsampled(sketch.NewHLL(uint8(*p), *seed), 0.125, *seed)
+		})
+	case "robustdistinct":
+		probe, victim = pair(func() robust.Estimator {
+			return robust.NewDefendedDistinct(0.05, 24, uint8(*p), *seed, 0.1, 0.5)
+		})
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	// Hunt a 64·K attack set — the same strengthened budget E32 uses,
+	// enough to push a raw sketch past 2x while staying well inside the
+	// quadratic bound.
+	cfg.MaskTarget = 64 * cfg.K
+	if *baseURL != "" {
+		if *name == "" {
+			return fmt.Errorf("redteam -url requires -sketch")
+		}
+		cl := sketchclient.New(*baseURL)
+		if *tenant != "" {
+			cl = cl.Tenant(*tenant)
+		}
+		victim = attack.NewServerTarget(cl, *name)
+	}
+
+	res, err := attack.Run(probe, victim, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mode: %s  k: %d  quadratic budget: %d interactions\n",
+		*mode, cfg.K, attack.QuadraticBudget(cfg.K))
+	fmt.Printf("hunt: probed %d candidates, masked %d; total interactions %d\n",
+		res.Probed, res.Masked, res.Interactions)
+	if res.Refused {
+		fmt.Println("verdict: REFUSED — the query budget cut the attack off (429)")
+		return nil
+	}
+	fmt.Printf("%12s %12s %12s %10s\n", "interactions", "truth", "estimate", "rel-error")
+	for _, pt := range res.Curve {
+		fmt.Printf("%12d %12.0f %12.0f %9.2fx\n", pt.Interactions, pt.Truth, pt.Estimate, pt.RelError)
+	}
+	switch {
+	case res.InteractionsToFail >= 0:
+		fmt.Printf("verdict: BROKEN — %.2fx relative error; failed at %d interactions (budget %d)\n",
+			res.FinalRelError, res.InteractionsToFail, attack.QuadraticBudget(cfg.K))
+	default:
+		fmt.Printf("verdict: bounded — %.2fx relative error after the full attack set\n", res.FinalRelError)
 	}
 	return nil
 }

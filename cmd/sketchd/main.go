@@ -93,6 +93,14 @@ func main() {
 		"per-tenant sketch-count quota (0: unlimited); breaches answer 429")
 	tenantMaxBytes := flag.Int64("tenant-max-bytes", 0,
 		"per-tenant resident-bytes quota (0: unlimited); breaches answer 429")
+	tenantMaxQPS := flag.Int("tenant-max-qps", 0,
+		"per-tenant reads-per-second cap over /query and /snapshot (0: unlimited); "+
+			"breaches answer 429 + Retry-After without gating ingest or merges")
+	queryBudget := flag.Int64("query-budget", 0,
+		"per-(tenant,sketch) adaptive-query budget per -query-budget-interval (0: unlimited); "+
+			"exhaustion answers 429 + Retry-After — the server-side guard against adaptive attacks")
+	queryBudgetInterval := flag.Duration("query-budget-interval", time.Minute,
+		"refill window for -query-budget")
 	ttlSweep := flag.Duration("ttl-sweep-interval", 30*time.Second,
 		"interval between TTL eviction sweeps (<=0 disables the reaper; expired sketches then linger)")
 	flag.Parse()
@@ -113,13 +121,21 @@ func main() {
 	}
 
 	srv := server.New()
-	if *tenantMaxSketches > 0 || *tenantMaxBytes > 0 {
+	if *tenantMaxSketches > 0 || *tenantMaxBytes > 0 || *tenantMaxQPS > 0 {
 		srv.SetTenantQuota(server.TenantQuota{
 			MaxSketches: *tenantMaxSketches,
 			MaxBytes:    *tenantMaxBytes,
+			MaxQPS:      *tenantMaxQPS,
 		})
-		log.Printf("sketchd: per-tenant quota: max %d sketches, %d resident bytes (0 = unlimited)",
-			*tenantMaxSketches, *tenantMaxBytes)
+		log.Printf("sketchd: per-tenant quota: max %d sketches, %d resident bytes, %d queries/sec (0 = unlimited)",
+			*tenantMaxSketches, *tenantMaxBytes, *tenantMaxQPS)
+	}
+	if *queryBudget > 0 {
+		srv.SetQueryBudget(server.QueryBudget{
+			Queries:  *queryBudget,
+			Interval: *queryBudgetInterval,
+		})
+		log.Printf("sketchd: per-sketch query budget: %d reads per %v", *queryBudget, *queryBudgetInterval)
 	}
 	if *follow != "" && *dataDir != "" {
 		// Replicated state is the leader's history; a follower writing

@@ -17,6 +17,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/frequency"
 	typereg "repro/internal/registry"
+	"repro/internal/robust"
 	"repro/internal/server"
 )
 
@@ -576,4 +577,37 @@ func bloomBlockedSeed() []byte {
 	bf.AddString("seed")
 	data, _ := bf.MarshalBinary()
 	return data
+}
+
+// FuzzRobustDistinctDecode: the robustdistinct envelope nests a full
+// HLL serialization per switching copy plus six parameter fields, all
+// of which must validate before any copy decode is trusted. A decode
+// that succeeds must round-trip: re-marshal, decode again, and answer
+// queries without panicking — the registry's crash-recovery path
+// (decode + merge into a fresh serving instance) relies on exactly
+// that.
+func FuzzRobustDistinctDecode(f *testing.F) {
+	d := robust.NewDefendedDistinct(0.05, 4, 8, 1, 0.1, 0.5)
+	for i := 0; i < 500; i++ {
+		d.AddUint64(uint64(i))
+	}
+	d.Estimate() // bake switching state (cur/last) into the envelope
+	data, _ := d.MarshalBinary()
+	corpusFor(f, data)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g robust.Distinct
+		if g.UnmarshalBinary(in) != nil {
+			return
+		}
+		g.AddUint64(42)
+		_ = g.Estimate()
+		round, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded sketch: %v", err)
+		}
+		var h robust.Distinct
+		if err := h.UnmarshalBinary(round); err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+	})
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -342,5 +343,65 @@ func TestCoordinatorSnapshotRoundTrip(t *testing.T) {
 	}
 	if relErr := math.Abs(est-5000) / 5000; relErr > 0.05 {
 		t.Errorf("imported estimate %.0f, want ~5000", est)
+	}
+}
+
+// TestCoordinator429Passthrough: when every shard refuses a read with
+// a query-budget 429, the coordinator is not degraded — the workload
+// is over budget. The response must be 429 with the largest shard
+// Retry-After, not a 503 that invites failover.
+func TestCoordinator429Passthrough(t *testing.T) {
+	const budget = 2
+	shards := make([]*httptest.Server, 2)
+	urls := make([]string, len(shards))
+	for i := range shards {
+		s := server.New()
+		s.SetQueryBudget(server.QueryBudget{Queries: budget, Interval: time.Hour})
+		shards[i] = httptest.NewServer(s.Handler())
+		t.Cleanup(shards[i].Close)
+		urls[i] = shards[i].URL
+	}
+	coord, err := NewCoordinator(urls, Options{RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord)
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+
+	if err := cl.Create("metered", server.CreateRequest{Type: "hll", P: 10}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := cl.Add("metered", []string{"a", "b", "c"}); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+
+	// Each coordinator read costs one snapshot token on every shard.
+	for i := 0; i < budget; i++ {
+		if _, err := cl.Estimate("metered", nil); err != nil {
+			t.Fatalf("query %d under budget: %v", i, err)
+		}
+	}
+	_, err = cl.Estimate("metered", nil)
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != 429 {
+		t.Fatalf("over budget via coordinator: %v, want StatusError 429", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Errorf("passthrough lost Retry-After: %+v", se)
+	}
+
+	// Ingest keeps flowing through the coordinator while reads are
+	// refused — the guard must never become a write outage.
+	if err := cl.Add("metered", []string{"d", "e"}); err != nil {
+		t.Fatalf("add while throttled: %v", err)
+	}
+
+	// One shard throttled + one shard down is availability loss, not
+	// budget exhaustion: the coordinator must answer 503, not 429.
+	shards[1].Close()
+	_, err = cl.Estimate("metered", nil)
+	if !errors.As(err, &se) || se.Code != 503 {
+		t.Fatalf("mixed 429 + down shard: %v, want StatusError 503", err)
 	}
 }

@@ -158,10 +158,31 @@ func (c *Coordinator) acquire() func() {
 }
 
 // ShardError is one failed shard call in a fan-out, with the shard
-// named — partial failures must never be anonymous.
+// named — partial failures must never be anonymous. When the failure
+// was an HTTP status from the shard, Code carries it (0 for transport
+// errors), and RetryAfterS carries the shard's Retry-After hint in
+// seconds — how the coordinator distinguishes "shard down" (503) from
+// "shard refusing adaptive queries" (429, see the query-budget guard
+// in internal/server) and passes the throttle through to the client.
 type ShardError struct {
-	Shard string `json:"shard"`
-	Err   string `json:"error"`
+	Shard       string `json:"shard"`
+	Err         string `json:"error"`
+	Code        int    `json:"code,omitempty"`
+	RetryAfterS int64  `json:"retry_after_s,omitempty"`
+}
+
+// shardError builds the ShardError row for one failed call, lifting
+// the HTTP status and Retry-After out of a client.StatusError.
+func shardError(shard string, err error) ShardError {
+	se := ShardError{Shard: shard, Err: err.Error()}
+	var st *client.StatusError
+	if errors.As(err, &st) {
+		se.Code = st.Code
+		if st.RetryAfter > 0 {
+			se.RetryAfterS = int64((st.RetryAfter + time.Second - 1) / time.Second)
+		}
+	}
+	return se
 }
 
 // retryable reports whether a shard call error is worth repeating:
@@ -176,7 +197,9 @@ func retryable(err error) bool {
 }
 
 // callShard runs fn against one shard under the in-flight bound, with
-// retry + exponential backoff on retryable errors.
+// retry + exponential backoff on retryable errors. A shard-provided
+// Retry-After that exceeds the computed backoff wins — the shard knows
+// when its window reopens better than our doubling schedule does.
 func (c *Coordinator) callShard(shard int, fn func(cl *client.Client) error) error {
 	release := c.acquire()
 	defer release()
@@ -192,7 +215,12 @@ func (c *Coordinator) callShard(shard int, fn func(cl *client.Client) error) err
 			return err
 		}
 		c.ops.Retries.Inc()
-		time.Sleep(backoff)
+		sleep := backoff
+		var se *client.StatusError
+		if errors.As(err, &se) && se.RetryAfter > sleep {
+			sleep = se.RetryAfter
+		}
+		time.Sleep(sleep)
 		backoff *= 2
 	}
 }
@@ -213,7 +241,7 @@ func (c *Coordinator) broadcast(fn func(cl *client.Client) error) []ShardError {
 	var out []ShardError
 	for i, err := range errs {
 		if err != nil {
-			out = append(out, ShardError{Shard: c.shards[i], Err: err.Error()})
+			out = append(out, shardError(c.shards[i], err))
 		}
 	}
 	return out
@@ -298,7 +326,7 @@ func (c *Coordinator) FanOutAddTenant(tenant, name string, body []byte) (int, []
 	var out []ShardError
 	for i, err := range errs {
 		if err != nil {
-			out = append(out, ShardError{Shard: c.shards[i], Err: err.Error()})
+			out = append(out, shardError(c.shards[i], err))
 		}
 	}
 	*bp = buckets
@@ -338,7 +366,7 @@ func (c *Coordinator) GatherTenant(tenant, name string) ([][]byte, []ShardError)
 	var failed []ShardError
 	for i := range c.shards {
 		if errs[i] != nil {
-			failed = append(failed, ShardError{Shard: c.shards[i], Err: errs[i].Error()})
+			failed = append(failed, shardError(c.shards[i], errs[i]))
 			continue
 		}
 		ok = append(ok, envs[i])

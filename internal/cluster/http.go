@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -88,14 +89,26 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
 }
 
-// shardFailure writes the 503 a failed fan-out produces: the failed
+// shardFailure writes the error a failed fan-out produces: the failed
 // shards are named in both the error text and a structured field, and
 // tenant-scoped calls carry the tenant label so a multi-tenant
-// operator can attribute the degradation.
+// operator can attribute the degradation. Normally a 503 — but when
+// every failure is a shard's 429 (query-budget or tenant-QPS
+// throttle), the coordinator is not degraded, the workload is over
+// budget: pass the 429 through with the largest shard Retry-After so
+// the client backs off instead of failing over.
 func shardFailure(w http.ResponseWriter, tenant, op string, fails []ShardError) {
 	names := make([]string, len(fails))
+	allThrottled := len(fails) > 0
+	var retryAfter int64
 	for i, f := range fails {
 		names[i] = f.Shard
+		if f.Code != http.StatusTooManyRequests {
+			allThrottled = false
+		}
+		if f.RetryAfterS > retryAfter {
+			retryAfter = f.RetryAfterS
+		}
 	}
 	doc := map[string]any{
 		"error":         fmt.Sprintf("%s failed on shard(s) %v", op, names),
@@ -103,6 +116,14 @@ func shardFailure(w http.ResponseWriter, tenant, op string, fails []ShardError) 
 	}
 	if tenant != "" {
 		doc["tenant"] = tenant
+	}
+	if allThrottled {
+		if retryAfter < 1 {
+			retryAfter = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+		writeJSON(w, http.StatusTooManyRequests, doc)
+		return
 	}
 	writeJSON(w, http.StatusServiceUnavailable, doc)
 }
@@ -146,7 +167,7 @@ func (c *Coordinator) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var fails []ShardError
 	for i, err := range errs {
 		if err != nil {
-			fails = append(fails, ShardError{Shard: c.shards[i], Err: err.Error()})
+			fails = append(fails, shardError(c.shards[i], err))
 		}
 	}
 	if len(fails) > 0 {

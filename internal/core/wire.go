@@ -47,13 +47,14 @@ const (
 	TagSparseRecovery
 	TagL0SamplerFull
 	TagBlockedBloom
+	TagRobustDistinct
 )
 
 // TagMax is the highest assigned sketch-type tag. The registry's
 // exhaustiveness test walks [1, TagMax] and requires every tag to be
 // either registered with a descriptor or explicitly reserved, so a new
 // tag constant cannot be added without also deciding how it decodes.
-const TagMax = TagBlockedBloom
+const TagMax = TagRobustDistinct
 
 // PeekTag returns the sketch-type tag of a serialized envelope without
 // decoding the payload — the dispatch point for generic, self-

@@ -1,0 +1,74 @@
+package registry
+
+import (
+	"net/url"
+
+	"repro/internal/core"
+	"repro/internal/robust"
+)
+
+func init() {
+	register(Descriptor{
+		Tag:    core.TagRobustDistinct,
+		Name:   "robustdistinct",
+		Family: "robust",
+		Doc: "adversarially robust distinct counter: sketch-switching over lambda " +
+			"independent HLL copies, with optional noisy (1+rho)-grid release and " +
+			"Bernoulli-q subsampled ingest",
+		Input: InputItems,
+		Params: []Param{
+			{Name: "p", Doc: "HLL precision per copy: 2^p registers", Def: 12, Min: 4, Max: 18},
+			{Name: "lambda", Doc: "independent copies (robustness horizon)", Def: 8, Min: 1, Max: 1024},
+			{Name: "eps", Doc: "switching threshold: output re-bases on (1+eps) drift", Def: 0.05, Min: 0.001, Max: 0.5, Float: true},
+			{Name: "rho", Doc: "noisy-release rounding grid (0: exact release)", Def: 0, Min: 0, Max: 0.99, Float: true},
+			{Name: "q", Doc: "Bernoulli ingest-admission rate (1: admit everything)", Def: 1, Min: 0.001, Max: 1, Float: true},
+		},
+		New: func(p Params) (any, error) {
+			return robust.NewDefendedDistinct(p.Float("eps"), p.Int("lambda"), p.Uint8("p"),
+				p.Seed, p.Float("rho"), p.Float("q")), nil
+		},
+		NewServing: func(p Params) (any, error) {
+			return robust.NewServingDistinct(p.Float("eps"), p.Int("lambda"), p.Uint8("p"),
+				p.Seed, p.Float("rho"), p.Float("q")), nil
+		},
+		Decode: decode1[robust.Distinct](),
+		Bind: Bindings{
+			Ingest: itemsIngest((*robust.Distinct).Add),
+			Query: query1(func(d *robust.Distinct, _ url.Values) (map[string]any, error) {
+				return robustDistinctDoc(d.Estimate(), d.Eps(), d.Copies(), d.CopiesUsed(), d.Exhausted()), nil
+			}),
+			Merge: merge2((*robust.Distinct).Merge),
+		},
+		Serve: &Bindings{
+			Ingest: func(inst any, items [][]byte) error {
+				s, err := cast[*robust.ServingDistinct](inst)
+				if err != nil {
+					return err
+				}
+				s.AddBatch(items)
+				return nil
+			},
+			Query: func(inst any, _ url.Values) (map[string]any, error) {
+				s, err := cast[*robust.ServingDistinct](inst)
+				if err != nil {
+					return nil, err
+				}
+				return robustDistinctDoc(s.Estimate(), s.Eps(), s.Copies(), s.CopiesUsed(), s.Exhausted()), nil
+			},
+			Merge: merge2((*robust.ServingDistinct).Merge),
+		},
+	})
+}
+
+// robustDistinctDoc is the query response shared by the plain and
+// serving bindings: the estimate plus the defense's burn-down gauges,
+// so operators can watch an adversarial workload consume copies.
+func robustDistinctDoc(estimate, eps float64, copies, used int, exhausted bool) map[string]any {
+	return map[string]any{
+		"estimate":    estimate,
+		"eps":         eps,
+		"copies":      copies,
+		"copies_used": used,
+		"exhausted":   exhausted,
+	}
+}

@@ -1,0 +1,257 @@
+// Package attack implements the universal adaptive attack on
+// cardinality sketches from Cohen–Nelson–Sarlós, "One Attack to Rule
+// Them All" (PAPERS.md): an adversary who can insert items and observe
+// estimates learns, in O(k²) interactions against a size-k sketch,
+// a set of items the sketch's fixed randomness cannot see — and any
+// sketch fed that set under the same randomness reports a cardinality
+// arbitrarily below the truth.
+//
+// The harness runs the attack in three phases against a probe/victim
+// pair sharing hash randomness (the realistic sketchd scenario: every
+// sketch created with the same seed — including the default seed —
+// shares it, so an attacker probes a sketch they own and poisons any
+// other):
+//
+//  1. Saturate: feed the probe ~O(k) random items so its internal
+//     state has maxima for fresh items to hide under.
+//  2. Mask hunt: insert candidates one at a time and read the estimate
+//     after each. A candidate that leaves the estimate exactly
+//     unchanged left no trace in the state (for HLL no register rose;
+//     for KMV the hash cleared the k-th minimum) — it is *masked*, and
+//     stays masked forever since sketch state only tightens. Collect
+//     masked items into the attack set.
+//  3. Replay: feed the attack set into the victim. Every item is
+//     invisible to the shared randomness, so the victim's truth grows
+//     while its estimate stays at the saturation floor. The harness
+//     records the (interactions, truth, estimate) curve and the
+//     interaction count at which relative error first crosses the
+//     failure ratio.
+//
+// Against the defended wrappers the same harness measures why each
+// defense works: sketch-switching re-bases onto copies whose
+// randomness the hunt never probed, noisy release erases the per-item
+// delta signal the hunt classifies on, subsampling poisons the attack
+// set with items the sketch never hashed, and the sketchd query budget
+// refuses the hunt's read stream outright with 429s.
+package attack
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// Target is the attack surface: batched distinct-item insertion plus
+// an estimate read. Local drivers never fail; the live-sketchd driver
+// surfaces transport errors and budget refusals (ErrRefused).
+type Target interface {
+	Add(items []uint64) error
+	Estimate() (float64, error)
+}
+
+// ErrRefused marks a target that answered a budget refusal (HTTP 429)
+// — the query-budget defense working as designed.
+var ErrRefused = errors.New("attack: target refused the query stream")
+
+// Config shapes one attack run. Zero fields take the documented
+// defaults; K is required.
+type Config struct {
+	// K is the victim's sketch size parameter: 2^p registers for HLL,
+	// k retained minima for KMV. The interaction budget and the
+	// quadratic bound are stated in terms of it.
+	K int
+	// SaturateItems is the phase-1 item count (default 8·K).
+	SaturateItems int
+	// MaskTarget is the attack-set size phase 2 hunts for (default
+	// 4·SaturateItems — enough for ~4× relative error undefended).
+	MaskTarget int
+	// MaxInteractions caps total adds+estimates across all phases
+	// (default 64·K², the quadratic budget with generous constant).
+	MaxInteractions int
+	// FailRatio is the truth/estimate ratio that counts as sketch
+	// failure (default 2).
+	FailRatio float64
+	// Seed drives the deterministic candidate stream (default 1).
+	Seed uint64
+	// CurvePoints is how many replay checkpoints to record (default 16).
+	CurvePoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SaturateItems == 0 {
+		c.SaturateItems = 8 * c.K
+	}
+	if c.MaskTarget == 0 {
+		c.MaskTarget = 4 * c.SaturateItems
+	}
+	if c.MaxInteractions == 0 {
+		c.MaxInteractions = 64 * c.K * c.K
+	}
+	if c.FailRatio == 0 {
+		c.FailRatio = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CurvePoints == 0 {
+		c.CurvePoints = 16
+	}
+	return c
+}
+
+// Point is one checkpoint on the attack curve.
+type Point struct {
+	Interactions int     // cumulative adds + estimate reads
+	Truth        float64 // distinct items fed to the victim
+	Estimate     float64 // victim's reported estimate
+	RelError     float64 // Truth/Estimate (victim underreports)
+}
+
+// Result is one attack run's outcome.
+type Result struct {
+	// Curve holds the replay-phase checkpoints against the victim.
+	Curve []Point
+	// Masked is the attack-set size phase 2 assembled.
+	Masked int
+	// Probed is how many candidates phase 2 tested.
+	Probed int
+	// Interactions is the total adds + estimate reads spent.
+	Interactions int
+	// InteractionsToFail is the interaction count when relative error
+	// first reached FailRatio; -1 when the victim never failed.
+	InteractionsToFail int
+	// FinalRelError is the last curve point's relative error (0 when
+	// the attack never reached the victim).
+	FinalRelError float64
+	// Refused reports that the target cut the attack off with budget
+	// refusals (ErrRefused) — counted as a surviving defense.
+	Refused bool
+}
+
+// Run mounts the attack: probe and victim must share hash randomness
+// (same seed and shape) for the masked set to transfer. Returns a
+// non-nil error only for transport-level failures; a budget refusal
+// ends the run gracefully with Refused set.
+func Run(probe, victim Target, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	var res Result
+	res.InteractionsToFail = -1
+	rng := randx.New(cfg.Seed ^ 0x9155ee5ba7a1e0f3)
+	interactions := 0
+
+	refused := func(err error) bool {
+		if errors.Is(err, ErrRefused) {
+			res.Refused = true
+			res.Interactions = interactions
+			return true
+		}
+		return false
+	}
+
+	// Phase 1: saturate the probe so fresh candidates have maxima to
+	// hide under. Batched — the adversary needs no feedback here.
+	saturate := make([]uint64, cfg.SaturateItems)
+	for i := range saturate {
+		saturate[i] = rng.Uint64()
+	}
+	if err := probe.Add(saturate); err != nil {
+		if refused(err) {
+			return res, nil
+		}
+		return res, err
+	}
+	interactions += len(saturate)
+
+	// Phase 2: hunt masked candidates one by one. Every probe is one
+	// add + one estimate read; a bit-identical estimate means the
+	// candidate left no trace in the probe's state.
+	base, err := probe.Estimate()
+	if err != nil {
+		if refused(err) {
+			return res, nil
+		}
+		return res, err
+	}
+	interactions++
+	one := make([]uint64, 1)
+	masked := make([]uint64, 0, cfg.MaskTarget)
+	for len(masked) < cfg.MaskTarget && interactions+2 <= cfg.MaxInteractions {
+		cand := rng.Uint64()
+		one[0] = cand
+		if err := probe.Add(one); err != nil {
+			if refused(err) {
+				return res, nil
+			}
+			return res, err
+		}
+		est, err := probe.Estimate()
+		interactions += 2
+		res.Probed++
+		if err != nil {
+			if refused(err) {
+				res.Masked = len(masked)
+				return res, nil
+			}
+			return res, err
+		}
+		if est == base {
+			masked = append(masked, cand)
+		} else {
+			base = est
+		}
+	}
+	res.Masked = len(masked)
+
+	// Phase 3: replay the attack set into the victim in chunks,
+	// reading the estimate at each checkpoint. Truth is exact — every
+	// masked item is distinct by construction (64-bit candidates from
+	// a full-period generator; collisions are negligible and would
+	// only weaken the attack).
+	chunk := len(masked) / cfg.CurvePoints
+	if chunk < 1 {
+		chunk = 1
+	}
+	fed := 0
+	for fed < len(masked) && interactions < cfg.MaxInteractions {
+		end := fed + chunk
+		if end > len(masked) {
+			end = len(masked)
+		}
+		if err := victim.Add(masked[fed:end]); err != nil {
+			if refused(err) {
+				return res, nil
+			}
+			return res, err
+		}
+		interactions += end - fed
+		fed = end
+		est, err := victim.Estimate()
+		interactions++
+		if err != nil {
+			if refused(err) {
+				return res, nil
+			}
+			return res, err
+		}
+		pt := Point{Interactions: interactions, Truth: float64(fed), Estimate: est}
+		if est > 0 {
+			pt.RelError = pt.Truth / est
+		} else {
+			pt.RelError = math.Inf(1)
+		}
+		res.Curve = append(res.Curve, pt)
+		if res.InteractionsToFail < 0 && pt.RelError >= cfg.FailRatio {
+			res.InteractionsToFail = interactions
+		}
+	}
+	if n := len(res.Curve); n > 0 {
+		res.FinalRelError = res.Curve[n-1].RelError
+	}
+	res.Interactions = interactions
+	return res, nil
+}
+
+// QuadraticBudget is the paper's bound the harness validates against:
+// C·k² interactions with the constant the default config uses.
+func QuadraticBudget(k int) int { return 64 * k * k }

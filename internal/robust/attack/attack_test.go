@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cardinality"
+	"repro/internal/robust"
+)
+
+// TestAttackBreaksRawHLL: the universal attack must drive a raw HLL
+// to at least the failure ratio within the quadratic budget.
+func TestAttackBreaksRawHLL(t *testing.T) {
+	const p, seed = 8, 7
+	k := 1 << p
+	res, err := Run(NewHLLTarget(p, seed), NewHLLTarget(p, seed), Config{K: k, Seed: 11})
+	if err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	if res.Refused {
+		t.Fatalf("raw HLL cannot refuse")
+	}
+	if res.FinalRelError < 2 {
+		t.Fatalf("attack failed to break raw HLL: final rel error %.2f, masked %d/%d probed",
+			res.FinalRelError, res.Masked, res.Probed)
+	}
+	if res.InteractionsToFail < 0 || res.InteractionsToFail > QuadraticBudget(k) {
+		t.Fatalf("failure at %d interactions, want within quadratic budget %d",
+			res.InteractionsToFail, QuadraticBudget(k))
+	}
+}
+
+// TestAttackBreaksRawKMV: same bar for the bottom-k sketch.
+func TestAttackBreaksRawKMV(t *testing.T) {
+	const k, seed = 256, 7
+	res, err := Run(NewKMVTarget(k, seed), NewKMVTarget(k, seed), Config{K: k, Seed: 11})
+	if err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	if res.FinalRelError < 2 {
+		t.Fatalf("attack failed to break raw KMV: final rel error %.2f, masked %d/%d probed",
+			res.FinalRelError, res.Masked, res.Probed)
+	}
+	if res.InteractionsToFail < 0 || res.InteractionsToFail > QuadraticBudget(k) {
+		t.Fatalf("failure at %d interactions, want within quadratic budget %d",
+			res.InteractionsToFail, QuadraticBudget(k))
+	}
+}
+
+// TestDefensesHoldUnderAttack: each defended wrapper, attacked with
+// the same harness and budget, must keep the victim's relative error
+// strictly below the raw sketch's failure.
+func TestDefensesHoldUnderAttack(t *testing.T) {
+	const p, seed = 8, 7
+	k := 1 << p
+	defenses := []struct {
+		name string
+		mk   func() robust.Estimator
+	}{
+		{"switching-hll", func() robust.Estimator {
+			return robust.NewSwitchingHLL(0.05, 24, p, seed)
+		}},
+		{"switching-kmv", func() robust.Estimator {
+			return robust.NewSwitchingKMV(0.05, 24, 256, seed)
+		}},
+		{"noisy", func() robust.Estimator {
+			return robust.NewNoisy(cardinality.NewHLL(p, seed), 0.1, seed)
+		}},
+		{"subsampled", func() robust.Estimator {
+			return robust.NewSubsampled(cardinality.NewHLL(p, seed), 0.25, seed)
+		}},
+		{"full-stack", func() robust.Estimator {
+			return robust.NewDefendedDistinct(0.05, 24, p, seed, 0.1, 0.5)
+		}},
+	}
+	for _, d := range defenses {
+		t.Run(d.name, func(t *testing.T) {
+			res, err := Run(NewEstimatorTarget(d.mk()), NewEstimatorTarget(d.mk()), Config{K: k, Seed: 11})
+			if err != nil {
+				t.Fatalf("attack: %v", err)
+			}
+			if math.IsInf(res.FinalRelError, 1) || res.FinalRelError >= 2 {
+				t.Fatalf("defense broken: final rel error %.2f (masked %d/%d)",
+					res.FinalRelError, res.Masked, res.Probed)
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package attack
+
+import (
+	"errors"
+	"strconv"
+
+	"repro/internal/cardinality"
+	"repro/internal/robust"
+	"repro/internal/server/client"
+)
+
+// Candidates are rendered as decimal byte strings before insertion on
+// EVERY driver, so the sketch hashes identical bytes whether the
+// target is an in-process Estimator or a sketchd endpoint — a masked
+// set hunted locally transfers to a live victim and vice versa.
+
+// estimatorTarget drives any robust.Estimator — a raw HLL or KMV, or
+// any composition of the defended wrappers.
+type estimatorTarget struct {
+	e   robust.Estimator
+	buf []byte
+}
+
+// NewEstimatorTarget wraps an in-process estimator as an attack
+// target.
+func NewEstimatorTarget(e robust.Estimator) Target {
+	return &estimatorTarget{e: e, buf: make([]byte, 0, 20)}
+}
+
+// NewHLLTarget is a raw HyperLogLog victim of precision p.
+func NewHLLTarget(p uint8, seed uint64) Target {
+	return NewEstimatorTarget(cardinality.NewHLL(p, seed))
+}
+
+// NewKMVTarget is a raw bottom-k KMV victim.
+func NewKMVTarget(k int, seed uint64) Target {
+	return NewEstimatorTarget(cardinality.NewKMV(k, seed))
+}
+
+func (t *estimatorTarget) Add(items []uint64) error {
+	for _, v := range items {
+		t.buf = strconv.AppendUint(t.buf[:0], v, 10)
+		t.e.Add(t.buf)
+	}
+	return nil
+}
+
+func (t *estimatorTarget) Estimate() (float64, error) {
+	return t.e.Estimate(), nil
+}
+
+// serverTarget drives one named sketch on a live sketchd (or a
+// coordinator — the API is identical) through the HTTP client. A 429
+// from the query-budget or tenant-QPS guard surfaces as ErrRefused so
+// the harness records the defense instead of hammering the server.
+type serverTarget struct {
+	cl     *client.Client
+	sketch string
+	buf    []byte
+}
+
+// NewServerTarget attacks the named sketch via cl. Create the sketch
+// (and a probe twin with the same seed) before the run.
+func NewServerTarget(cl *client.Client, sketch string) Target {
+	return &serverTarget{cl: cl, sketch: sketch, buf: make([]byte, 0, 64<<10)}
+}
+
+func (t *serverTarget) Add(items []uint64) error {
+	t.buf = t.buf[:0]
+	for _, v := range items {
+		t.buf = strconv.AppendUint(t.buf, v, 10)
+		t.buf = append(t.buf, '\n')
+	}
+	return refuseAware(t.cl.AddBatch(t.sketch, t.buf))
+}
+
+func (t *serverTarget) Estimate() (float64, error) {
+	est, err := t.cl.Estimate(t.sketch, nil)
+	return est, refuseAware(err)
+}
+
+// refuseAware maps budget/rate 429s onto ErrRefused, keeping the
+// original error in the chain for Retry-After inspection.
+func refuseAware(err error) error {
+	var se *client.StatusError
+	if errors.As(err, &se) && se.Code == 429 {
+		return errors.Join(ErrRefused, err)
+	}
+	return err
+}

@@ -1,0 +1,26 @@
+package robust
+
+import "repro/internal/cardinality"
+
+// Estimator is the minimal surface the red-team subsystem works
+// against: streaming distinct-count ingest plus an estimate read. Both
+// raw cardinality sketches (*cardinality.HLL, *cardinality.KMV) and
+// every defended wrapper in this package satisfy it, so the attack
+// harness (internal/robust/attack) and the defenses compose freely —
+// a Noisy over a Switching over KMV is just nested Estimators.
+type Estimator interface {
+	Add(item []byte)
+	AddUint64(v uint64)
+	Estimate() float64
+	SizeBytes() int
+}
+
+// Interface conformance for the raw sketches and every wrapper.
+var (
+	_ Estimator = (*cardinality.HLL)(nil)
+	_ Estimator = (*cardinality.KMV)(nil)
+	_ Estimator = (*Switching)(nil)
+	_ Estimator = (*Noisy)(nil)
+	_ Estimator = (*Subsampled)(nil)
+	_ Estimator = (*Distinct)(nil)
+)

@@ -1,0 +1,63 @@
+package robust
+
+import (
+	"math"
+
+	"repro/internal/randx"
+)
+
+// Noisy releases estimates rounded onto a multiplicative (1+ρ) grid
+// whose phase is a secret of the instance. Rounding caps what an
+// adaptive adversary learns per query: the released value only changes
+// when the inner estimate crosses a grid boundary, so a stream of n
+// items reveals at most log_{1+ρ} n distinct answers — in particular
+// the per-item estimate delta that mask-hunting attacks key on is
+// erased for all but O(ρ⁻¹ log n) probes. The secret phase (derived
+// deterministically from the seed) keeps the adversary from straddling
+// known boundaries, and because the released value is a deterministic
+// function of the inner estimate, repeated queries return the same
+// answer — there is no fresh noise to average away.
+type Noisy struct {
+	inner Estimator
+	rho   float64
+	phase float64 // secret grid offset in [0,1) log-units
+}
+
+// NewNoisy wraps inner with (1+rho)-grid rounded release. rho must be
+// in (0,1); the phase is derived from seed.
+func NewNoisy(inner Estimator, rho float64, seed uint64) *Noisy {
+	if !(rho > 0 && rho < 1) {
+		panic("robust: rho must be in (0,1)")
+	}
+	return &Noisy{inner: inner, rho: rho, phase: noisePhase(seed)}
+}
+
+// noisePhase derives the secret grid offset from the seed.
+func noisePhase(seed uint64) float64 {
+	return randx.New(seed ^ 0xa0b4c1d8e2f36975).Float64()
+}
+
+// noisyRound snaps v to the midpoint of its (1+rho) grid cell. The
+// multiplicative error is at most a sqrt(1+rho) factor.
+func noisyRound(v, rho, phase float64) float64 {
+	if v <= 1 {
+		return v
+	}
+	w := math.Log1p(rho)
+	u := math.Floor(math.Log(v)/w+phase) - phase
+	return math.Exp((u + 0.5) * w)
+}
+
+// Add inserts an item.
+func (n *Noisy) Add(item []byte) { n.inner.Add(item) }
+
+// AddUint64 inserts an integer item.
+func (n *Noisy) AddUint64(v uint64) { n.inner.AddUint64(v) }
+
+// Estimate returns the inner estimate rounded onto the secret grid.
+func (n *Noisy) Estimate() float64 {
+	return noisyRound(n.inner.Estimate(), n.rho, n.phase)
+}
+
+// SizeBytes returns the wrapped sketch's footprint.
+func (n *Noisy) SizeBytes() int { return n.inner.SizeBytes() }

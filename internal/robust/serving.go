@@ -1,0 +1,94 @@
+package robust
+
+import "sync"
+
+// ServingDistinct is the concurrent serving variant of Distinct. Every
+// operation — reads included — serializes behind one mutex, because
+// Estimate advances the sketch-switching state machine: a "read" may
+// burn a copy, so the lock-free read tricks the other serving wrappers
+// use would race the defense itself. The mutex still beats the
+// server's generic per-entry lock by keeping WAL bookkeeping outside
+// the critical section.
+type ServingDistinct struct {
+	mu sync.Mutex
+	d  *Distinct
+}
+
+// NewServingDistinct builds the serving wrapper over a fresh defended
+// counter.
+func NewServingDistinct(eps float64, lambda int, p uint8, seed uint64, rho, q float64) *ServingDistinct {
+	return &ServingDistinct{d: NewDefendedDistinct(eps, lambda, p, seed, rho, q)}
+}
+
+// Add inserts one item.
+func (s *ServingDistinct) Add(item []byte) {
+	s.mu.Lock()
+	s.d.Add(item)
+	s.mu.Unlock()
+}
+
+// AddBatch inserts a batch under one lock acquisition.
+func (s *ServingDistinct) AddBatch(items [][]byte) {
+	s.mu.Lock()
+	for _, item := range items {
+		s.d.Add(item)
+	}
+	s.mu.Unlock()
+}
+
+// Estimate returns the robust estimate (and may advance the switching
+// state).
+func (s *ServingDistinct) Estimate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Estimate()
+}
+
+// Exhausted reports whether every copy has been exposed.
+func (s *ServingDistinct) Exhausted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Exhausted()
+}
+
+// Copies returns λ.
+func (s *ServingDistinct) Copies() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Copies()
+}
+
+// CopiesUsed returns how many copies have been exposed.
+func (s *ServingDistinct) CopiesUsed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.CopiesUsed()
+}
+
+// Eps returns the switching threshold.
+func (s *ServingDistinct) Eps() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Eps()
+}
+
+// Merge absorbs a decoded peer.
+func (s *ServingDistinct) Merge(other *Distinct) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Merge(other)
+}
+
+// MarshalBinary serializes the wrapped counter.
+func (s *ServingDistinct) MarshalBinary() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.MarshalBinary()
+}
+
+// SizeBytes returns the wrapped counter's footprint.
+func (s *ServingDistinct) SizeBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.SizeBytes()
+}

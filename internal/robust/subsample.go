@@ -1,0 +1,72 @@
+package robust
+
+import (
+	"math"
+
+	"repro/internal/hashx"
+)
+
+// Subsampled answers queries from a Bernoulli sample of the stream:
+// each distinct item is admitted with probability q by a secret-seeded
+// hash (so duplicates are admitted consistently), and the release
+// scales the inner estimate by 1/q. An adaptive adversary probing for
+// masked items gets a corrupted signal — a fraction (1−q) of probes
+// show no estimate movement simply because they were never admitted,
+// so the attack set it assembles is mostly items the sketch has never
+// hashed, and replaying that set inflates the estimate right along
+// with the truth. The price is honest-stream variance: the sampling
+// error adds ~sqrt((1−q)/(q·n)) relative noise on top of the inner
+// sketch's own.
+type Subsampled struct {
+	inner     Estimator
+	q         float64
+	admitSeed uint64
+	threshold uint64 // admit when hash <= threshold
+}
+
+// NewSubsampled wraps inner with Bernoulli-q admission under a secret
+// seed. q must be in (0,1]; q = 1 admits everything.
+func NewSubsampled(inner Estimator, q float64, seed uint64) *Subsampled {
+	if !(q > 0 && q <= 1) {
+		panic("robust: q must be in (0,1]")
+	}
+	return &Subsampled{
+		inner:     inner,
+		q:         q,
+		admitSeed: admitSeed(seed),
+		threshold: admitThreshold(q),
+	}
+}
+
+// admitSeed derives the sampling seed from the sketch seed; it must
+// differ from the inner sketch's hash seed or admission correlates
+// with the sketch's own randomness.
+func admitSeed(seed uint64) uint64 { return seed ^ 0x5bf0f3c8a9d17e42 }
+
+// admitThreshold maps the admission rate onto the uint64 hash range.
+func admitThreshold(q float64) uint64 {
+	if q >= 1 {
+		return math.MaxUint64
+	}
+	return uint64(q * float64(math.MaxUint64))
+}
+
+// Add inserts an item if its admission hash clears the rate.
+func (s *Subsampled) Add(item []byte) {
+	if hashx.XXHash64(item, s.admitSeed) <= s.threshold {
+		s.inner.Add(item)
+	}
+}
+
+// AddUint64 inserts an integer item if admitted.
+func (s *Subsampled) AddUint64(v uint64) {
+	if hashx.HashUint64(v, s.admitSeed) <= s.threshold {
+		s.inner.AddUint64(v)
+	}
+}
+
+// Estimate returns the inner estimate scaled back to the full stream.
+func (s *Subsampled) Estimate() float64 { return s.inner.Estimate() / s.q }
+
+// SizeBytes returns the wrapped sketch's footprint.
+func (s *Subsampled) SizeBytes() int { return s.inner.SizeBytes() }

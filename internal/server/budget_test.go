@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// The query-budget guard is the server half of the adversarial-
+// robustness story (internal/robust/attack): an attacker needs a long
+// adaptive query stream, so the server meters reads (/query and
+// /snapshot) per (tenant, sketch) and per tenant — and nothing else.
+// Ingest, merges, and other sketches must never be collateral.
+
+func budgetServer(t *testing.T, qb QueryBudget, quota TenantQuota) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New()
+	if qb.Queries > 0 {
+		s.SetQueryBudget(qb)
+	}
+	s.SetTenantQuota(quota)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestQueryBudgetExhaustsTo429(t *testing.T) {
+	_, ts := budgetServer(t, QueryBudget{Queries: 3, Interval: time.Hour}, TenantQuota{})
+	mustDo(t, "POST", ts.URL+"/v1/sketch/guarded", `{"type":"hll","p":10}`)
+	mustDo(t, "POST", ts.URL+"/v1/sketch/other", `{"type":"hll","p":10}`)
+	mustDo(t, "POST", ts.URL+"/v1/sketch/guarded/add", "a\nb\nc")
+
+	for i := 0; i < 3; i++ {
+		mustDo(t, "GET", ts.URL+"/v1/sketch/guarded/query", "")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/sketch/guarded/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Fatalf("query #4: HTTP %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// The budget is per sketch: a sibling sketch's reads are untouched,
+	// and the throttled sketch still ingests.
+	mustDo(t, "GET", ts.URL+"/v1/sketch/other/query", "")
+	mustDo(t, "POST", ts.URL+"/v1/sketch/guarded/add", "d\ne")
+
+	// Snapshots draw from the same budget — an unmetered state export
+	// would let the attacker evaluate estimates offline.
+	if code, _ := httpDo(t, "GET", ts.URL+"/v1/sketch/guarded/snapshot", ""); code != 429 {
+		t.Fatalf("snapshot over budget: HTTP %d, want 429", code)
+	}
+	mustDo(t, "GET", ts.URL+"/v1/sketch/other/snapshot", "")
+}
+
+func TestQueryBudgetWindowRefills(t *testing.T) {
+	_, ts := budgetServer(t, QueryBudget{Queries: 2, Interval: 50 * time.Millisecond}, TenantQuota{})
+	mustDo(t, "POST", ts.URL+"/v1/sketch/s", `{"type":"hll","p":10}`)
+	mustDo(t, "GET", ts.URL+"/v1/sketch/s/query", "")
+	mustDo(t, "GET", ts.URL+"/v1/sketch/s/query", "")
+	if code, _ := httpDo(t, "GET", ts.URL+"/v1/sketch/s/query", ""); code != 429 {
+		t.Fatalf("over budget: HTTP %d, want 429", code)
+	}
+	time.Sleep(80 * time.Millisecond)
+	mustDo(t, "GET", ts.URL+"/v1/sketch/s/query", "")
+}
+
+func TestTenantMaxQPS(t *testing.T) {
+	_, ts := budgetServer(t, QueryBudget{}, TenantQuota{MaxQPS: 2})
+	mustDo(t, "POST", ts.URL+"/v1/t/noisy/sketch/a", `{"type":"hll","p":10}`)
+	mustDo(t, "POST", ts.URL+"/v1/t/noisy/sketch/b", `{"type":"hll","p":10}`)
+	mustDo(t, "POST", ts.URL+"/v1/t/quiet/sketch/c", `{"type":"hll","p":10}`)
+
+	// The cap spans the tenant's sketches: a+b together burn the 2/sec.
+	mustDo(t, "GET", ts.URL+"/v1/t/noisy/sketch/a/query", "")
+	mustDo(t, "GET", ts.URL+"/v1/t/noisy/sketch/b/query", "")
+	code, _ := httpDo(t, "GET", ts.URL+"/v1/t/noisy/sketch/a/query", "")
+	if code != 429 {
+		t.Fatalf("over tenant QPS: HTTP %d, want 429", code)
+	}
+
+	// Another tenant is untouched; the throttled tenant still ingests.
+	mustDo(t, "GET", ts.URL+"/v1/t/quiet/sketch/c/query", "")
+	mustDo(t, "POST", ts.URL+"/v1/t/noisy/sketch/a/add", "still-flowing")
+
+	// The refusal is visible on /v1/status.
+	var st StatusResponse
+	if err := json.Unmarshal(mustDo(t, "GET", ts.URL+"/v1/status", ""), &st); err != nil {
+		t.Fatal(err)
+	}
+	var throttled uint64
+	for _, row := range st.Tenants {
+		if row.Tenant == "noisy" {
+			throttled = row.Throttled
+		}
+	}
+	if throttled == 0 {
+		t.Error("throttled gauge not incremented for tenant noisy")
+	}
+}
+
+func TestBudgetGuardZeroAlloc(t *testing.T) {
+	s := New()
+	s.SetQueryBudget(QueryBudget{Queries: 1 << 40, Interval: time.Hour})
+	s.SetTenantQuota(TenantQuota{MaxQPS: 1 << 30})
+	ts := newTenantState("alloc")
+	ne := &namedEntry{}
+	now := time.Now().UnixNano()
+	if _, ok := s.allowSketchQuery(ne, now); !ok {
+		t.Fatal("first sketch query refused")
+	}
+	if _, ok := s.allowTenantQuery(ts, now); !ok {
+		t.Fatal("first tenant query refused")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.allowSketchQuery(ne, now)
+		s.allowTenantQuery(ts, now)
+	})
+	if allocs != 0 {
+		t.Errorf("budget-guard allow path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -177,7 +177,7 @@ func (c *Client) Snapshot(name string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, statusError(resp.StatusCode, data)
+		return nil, statusError(resp, data)
 	}
 	return data, nil
 }
@@ -333,7 +333,7 @@ func (c *Client) ReplFile(name string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, statusError(resp.StatusCode, data)
+		return nil, statusError(resp, data)
 	}
 	return data, nil
 }
@@ -373,7 +373,7 @@ func (c *Client) get(u string, out any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return statusError(resp.StatusCode, data)
+		return statusError(resp, data)
 	}
 	if out == nil {
 		return nil
@@ -395,7 +395,7 @@ func (c *Client) post(u, contentType string, body []byte, out any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		return statusError(resp.StatusCode, data)
+		return statusError(resp, data)
 	}
 	return json.Unmarshal(data, out)
 }
@@ -409,28 +409,52 @@ func drainStatus(resp *http.Response) error {
 		return nil
 	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return statusError(resp.StatusCode, data)
+	return statusError(resp, data)
 }
 
 // StatusError is a non-2xx server response, carrying the HTTP status
 // so callers can distinguish permanent request errors (4xx) from
 // retryable server-side failures (5xx) — the coordinator's ingest
-// fan-out retries only the latter.
+// fan-out retries only the latter — and the parsed Retry-After so a
+// budget- or rate-limited caller (429) backs off for the window the
+// server named instead of hammering an exhausted bucket.
 type StatusError struct {
-	Code int
-	Msg  string
+	Code       int
+	Msg        string
+	RetryAfter time.Duration // parsed Retry-After header; 0 when absent
 }
 
 func (e *StatusError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("client: HTTP %d (retry after %s): %s", e.Code, e.RetryAfter, e.Msg)
+	}
 	return fmt.Sprintf("client: HTTP %d: %s", e.Code, e.Msg)
 }
 
-func statusError(code int, body []byte) error {
+func statusError(resp *http.Response, body []byte) error {
+	se := &StatusError{Code: resp.StatusCode, RetryAfter: retryAfter(resp)}
 	var doc struct {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(body, &doc) == nil && doc.Error != "" {
-		return &StatusError{Code: code, Msg: doc.Error}
+		se.Msg = doc.Error
+	} else {
+		se.Msg = string(bytes.TrimSpace(body))
 	}
-	return &StatusError{Code: code, Msg: string(bytes.TrimSpace(body))}
+	return se
+}
+
+// retryAfter parses the delay-seconds form of Retry-After (the form
+// sketchd emits). The HTTP-date form is not used by this system and
+// parses to 0.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

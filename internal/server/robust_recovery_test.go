@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// Robustdistinct is the one family whose QUERIES mutate state (the
+// switching defense burns copies as the revealed output drifts), and
+// only ingest is WAL-logged — so the defense's burn-down is durable up
+// to the last snapshot, and replayed ingest reconstructs everything
+// after it. This test pins the contract: a query-mutated state
+// captured by a snapshot plus a WAL tail of further ingest recovers
+// byte-identically after kill -9.
+func TestRobustDistinctKill9ByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1, _ := durableServer(t, dir, durable.Options{FsyncInterval: 0})
+
+	mustDo(t, "POST", ts1.URL+"/v1/sketch/rd",
+		`{"type":"robustdistinct","p":10,"params":{"lambda":6,"rho":0.1,"q":0.5}}`)
+	mustDo(t, "POST", ts1.URL+"/v1/sketch/rd/add", "alpha\nbeta\ngamma\ndelta")
+
+	// Burn switching state with queries, then snapshot: the mutated
+	// cur/last must ride the snapshot.
+	q1 := mustDo(t, "GET", ts1.URL+"/v1/sketch/rd/query", "")
+	mustDo(t, "POST", ts1.URL+"/v1/sketch/rd/add", "epsilon\nzeta\neta\ntheta\niota\nkappa")
+	mustDo(t, "GET", ts1.URL+"/v1/sketch/rd/query", "")
+	if err := s1.dur.SnapshotNow(); err != nil {
+		t.Fatalf("SnapshotNow: %v", err)
+	}
+
+	// WAL tail after the snapshot: ingest only (no further queries, so
+	// the pre-kill snapshot fetch is the exact recovery target).
+	mustDo(t, "POST", ts1.URL+"/v1/sketch/rd/add", "lambda\nmu\nnu\nxi")
+	want := mustDo(t, "GET", ts1.URL+"/v1/sketch/rd/snapshot", "")
+
+	if err := s1.dur.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	ts1.Close()
+	s1.dur.Kill()
+
+	_, ts2, stats := durableServer(t, dir, durable.Options{FsyncInterval: 0})
+	if stats.SketchesLoaded != 1 {
+		t.Fatalf("recovered %d sketches, want 1", stats.SketchesLoaded)
+	}
+	if stats.RecordsReplayed != 1 {
+		t.Fatalf("replayed %d WAL records, want 1 (the post-snapshot ingest)", stats.RecordsReplayed)
+	}
+	got := mustDo(t, "GET", ts2.URL+"/v1/sketch/rd/snapshot", "")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered snapshot differs: %d bytes vs %d", len(got), len(want))
+	}
+
+	// The recovered defense still answers, with its gauges intact.
+	var doc map[string]any
+	if err := json.Unmarshal(mustDo(t, "GET", ts2.URL+"/v1/sketch/rd/query", ""), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["copies"].(float64) != 6 {
+		t.Errorf("recovered copies = %v, want 6", doc["copies"])
+	}
+	var first map[string]any
+	if err := json.Unmarshal(q1, &first); err != nil {
+		t.Fatal(err)
+	}
+	if doc["copies_used"].(float64) < first["copies_used"].(float64) {
+		t.Errorf("burned copies regressed across recovery: %v -> %v",
+			first["copies_used"], doc["copies_used"])
+	}
+}

@@ -68,6 +68,7 @@ type Server struct {
 	tmu     sync.RWMutex
 	tenants map[string]*tenantState
 	quota   TenantQuota
+	qb      QueryBudget
 
 	ops       core.OpCounters
 	start     time.Time
@@ -272,6 +273,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.guardRead(w, ts, e) {
+		return
+	}
 	res, err := e.entry.Query(r.URL.Query())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -341,8 +345,16 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	_, e, ok := s.lookup(w, r)
+	ts, e, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	// A snapshot reveals strictly more than an estimate (the attacker
+	// can evaluate the state offline, unmetered), so it draws from the
+	// same read budget as /query. Replication ships WAL segments over
+	// /v1/repl/* and the durability snapshotter runs in-process —
+	// neither touches this guard.
+	if !s.guardRead(w, ts, e) {
 		return
 	}
 	data, err := e.entry.Snapshot()

@@ -32,6 +32,12 @@ const TenantHeader = "X-Sketch-Tenant"
 type TenantQuota struct {
 	MaxSketches int   `json:"max_sketches,omitempty"`
 	MaxBytes    int64 `json:"max_bytes,omitempty"`
+
+	// MaxQPS caps the tenant's reads per second (429 over the cap,
+	// with Retry-After). Only the adaptive-read surface — /query and
+	// /snapshot — is gated: ingest, merges, and listings are never
+	// rate-limited, so a throttled tenant keeps writing.
+	MaxQPS int `json:"max_qps,omitempty"`
 }
 
 // tenantState is one tenant's slice of the server: its own striped
@@ -50,6 +56,12 @@ type tenantState struct {
 	queries   core.Counter
 	merges    core.Counter
 	evictions core.Counter
+	throttled core.Counter // queries refused by the QPS cap or a sketch budget
+
+	// qpsTokens/qpsWindow are the tenant's queries-per-second bucket
+	// (TenantQuota.MaxQPS), refilled lazily by allowTenantQuery.
+	qpsTokens atomic.Int64
+	qpsWindow atomic.Int64
 }
 
 func newTenantState(name string) *tenantState {
@@ -104,6 +116,7 @@ type TenantStat struct {
 	Queries       uint64 `json:"queries"`
 	Merges        uint64 `json:"merges"`
 	Evictions     uint64 `json:"evictions"`
+	Throttled     uint64 `json:"throttled"`
 }
 
 func (ts *tenantState) stat() TenantStat {
@@ -115,6 +128,7 @@ func (ts *tenantState) stat() TenantStat {
 		Queries:       ts.queries.Load(),
 		Merges:        ts.merges.Load(),
 		Evictions:     ts.evictions.Load(),
+		Throttled:     ts.throttled.Load(),
 	}
 }
 

@@ -419,13 +419,27 @@ func NewGaussianMechanism(eps, delta, sensitivity float64, seed uint64) *Gaussia
 	return privacy.NewGaussianMechanism(eps, delta, sensitivity, seed)
 }
 
-// Adversarial robustness (BJWY sketch switching).
+// Adversarial robustness (BJWY sketch switching plus the composable
+// defense wrappers the red-team harness in internal/robust/attack
+// measures).
 type (
 	// RobustF2 is a robust second-moment estimator.
 	RobustF2 = robust.F2
 	// RobustDistinct is a robust distinct counter (HLL copies under
 	// sketch switching).
 	RobustDistinct = robust.Distinct
+	// RobustEstimator is the streaming distinct-count surface the
+	// attack harness targets and the defense wrappers compose over.
+	RobustEstimator = robust.Estimator
+	// SwitchingEstimator rotates through lambda independent copies,
+	// re-basing whenever the estimate drifts by eps.
+	SwitchingEstimator = robust.Switching
+	// NoisyEstimator releases multiplicatively rounded estimates from
+	// a deterministic secret-phase grid.
+	NoisyEstimator = robust.Noisy
+	// SubsampledEstimator answers from a Bernoulli sample of the
+	// stream, scaling estimates by 1/q.
+	SubsampledEstimator = robust.Subsampled
 )
 
 // NewRobustDistinct creates a robust distinct counter with lambda HLL
@@ -443,6 +457,39 @@ func NewRobustF2(eps float64, lambda, groups, perGroup int, seed uint64) *Robust
 // RobustLambdaFor sizes the copy count for a stream with F2 up to
 // maxF2.
 func RobustLambdaFor(eps, maxF2 float64) int { return robust.LambdaFor(eps, maxF2) }
+
+// NewDefendedDistinct creates a robust distinct counter with every
+// in-sketch defense engaged: lambda switching HLL copies of precision
+// p, rho-rounded noisy release, and Bernoulli-q subsampled ingest
+// (rho = 0 and q = 1 disable those layers).
+func NewDefendedDistinct(eps float64, lambda int, p uint8, seed uint64, rho, q float64) *RobustDistinct {
+	return robust.NewDefendedDistinct(eps, lambda, p, seed, rho, q)
+}
+
+// NewSwitchingHLL wraps lambda HLL copies of precision p under sketch
+// switching with drift threshold eps.
+func NewSwitchingHLL(eps float64, lambda int, p uint8, seed uint64) *SwitchingEstimator {
+	return robust.NewSwitchingHLL(eps, lambda, p, seed)
+}
+
+// NewSwitchingKMV wraps lambda KMV copies retaining k minima under
+// sketch switching with drift threshold eps.
+func NewSwitchingKMV(eps float64, lambda, k int, seed uint64) *SwitchingEstimator {
+	return robust.NewSwitchingKMV(eps, lambda, k, seed)
+}
+
+// NewNoisyEstimator wraps any estimator in multiplicative rho-rounded
+// release on a secret-phase grid.
+func NewNoisyEstimator(inner RobustEstimator, rho float64, seed uint64) *NoisyEstimator {
+	return robust.NewNoisy(inner, rho, seed)
+}
+
+// NewSubsampledEstimator wraps any estimator in Bernoulli-q subsampled
+// answering: each item is hashed into or out of the sample, and
+// estimates scale by 1/q.
+func NewSubsampledEstimator(inner RobustEstimator, q float64, seed uint64) *SubsampledEstimator {
+	return robust.NewSubsampled(inner, q, seed)
+}
 
 // Gradient compression (FetchSGD).
 type GradSketch = fetchsgd.GradSketch
