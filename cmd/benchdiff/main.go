@@ -52,6 +52,45 @@ func main() {
 	}
 }
 
+// diffWireBytes prints the per-family envelope-size comparison (schema
+// 3 wire_bytes). Always informational: wire sizes change whenever a
+// format version adds a field, which is a review item, not a CI gate.
+func diffWireBytes(w *os.File, oldRep, newRep benchrun.Report) {
+	if len(oldRep.WireBytes) == 0 && len(newRep.WireBytes) == 0 {
+		return
+	}
+	oldByType := make(map[string]benchrun.WireBytes, len(oldRep.WireBytes))
+	for _, wb := range oldRep.WireBytes {
+		oldByType[wb.Type] = wb
+	}
+	fmt.Fprintf(w, "\nwire bytes (reference ingest, informational)\n")
+	fmt.Fprintf(w, "%-20s %12s %12s %12s %12s\n", "family", "old full", "new full", "old slim", "new slim")
+	for _, nw := range newRep.WireBytes {
+		ow, ok := oldByType[nw.Type]
+		if !ok {
+			fmt.Fprintf(w, "%-20s %12s %12d %12s %12s  (new)\n", nw.Type, "-", nw.FullBytes, "-", slimCol(nw.SlimBytes))
+			continue
+		}
+		delete(oldByType, nw.Type)
+		mark := ""
+		if nw.FullBytes != ow.FullBytes || nw.SlimBytes != ow.SlimBytes {
+			mark = "  changed"
+		}
+		fmt.Fprintf(w, "%-20s %12d %12d %12s %12s%s\n",
+			nw.Type, ow.FullBytes, nw.FullBytes, slimCol(ow.SlimBytes), slimCol(nw.SlimBytes), mark)
+	}
+	for name := range oldByType {
+		fmt.Fprintf(w, "%-20s (removed)\n", name)
+	}
+}
+
+func slimCol(n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
 func load(path string) (benchrun.Report, error) {
 	var rep benchrun.Report
 	data, err := os.ReadFile(path)
@@ -108,6 +147,7 @@ func diff(w *os.File, oldRep, newRep benchrun.Report, threshold float64) int {
 	for name := range oldByName {
 		fmt.Fprintf(w, "%-28s (removed)\n", name)
 	}
+	diffWireBytes(w, oldRep, newRep)
 	if regressions > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed past %.0f%%\n", regressions, 100*threshold)
 	} else {

@@ -15,11 +15,12 @@
 // Benchmark mode runs the internal/benchrun hot-path microbenchmark
 // suite (the same code `go test -bench Hot` runs) and writes the
 // results as JSON — the committed BENCH_*.json trajectory files are
-// produced this way (BENCH_3.json is current and adds the cluster
-// coordinator entries; BENCH_2.json is the cache-layout baseline;
-// BENCH_1.json is the pre-layout-work baseline):
+// produced this way (BENCH_4.json is current: SF-sketch and slim-wire
+// entries plus per-family wire bytes, schema 3; BENCH_3.json added the
+// cluster coordinator entries; BENCH_2.json is the cache-layout
+// baseline; BENCH_1.json is the pre-layout-work baseline):
 //
-//	sketchbench -bench                              # 1s per benchmark, writes BENCH_3.json
+//	sketchbench -bench                              # 1s per benchmark, writes BENCH_4.json
 //	sketchbench -bench -benchtime 100ms -benchout - # quick run to stdout
 //
 // Compare two reports with cmd/benchdiff (scripts/benchdiff.sh).
@@ -43,7 +44,7 @@ func main() {
 	sketchd := flag.String("sketchd", "", "base URL of a running sketchd for the E25 loadgen (default: in-process)")
 	bench := flag.Bool("bench", false, "run hot-path microbenchmarks instead of experiments")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measuring time in -bench mode")
-	benchout := flag.String("benchout", "BENCH_3.json", "output path for -bench JSON results (- for stdout)")
+	benchout := flag.String("benchout", "BENCH_4.json", "output path for -bench JSON results (- for stdout)")
 	testing.Init() // registers test.benchtime, which drives testing.Benchmark
 	flag.Parse()
 

@@ -101,6 +101,7 @@ func runClusterMerge(args []string) error {
 	name := fs.String("name", "", "sketch name to gather")
 	tenant := fs.String("tenant", "", "tenant namespace to gather from (default: the default tenant)")
 	out := fs.String("o", "", "write the merged envelope here instead of summarizing it")
+	wire := fs.String("wire", "", "envelope form to gather: full or slim (default: each shard's full form)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,13 +112,18 @@ func runClusterMerge(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("-name is required")
 	}
+	if *wire != "" && *wire != "full" && *wire != "slim" {
+		return fmt.Errorf("-wire must be full or slim, got %q", *wire)
+	}
 	envs := make([][]byte, 0, len(urls))
+	gathered := 0
 	for _, u := range urls {
-		env, err := client.New(u).Tenant(*tenant).Snapshot(*name)
+		env, err := client.New(u).Tenant(*tenant).SnapshotWire(*name, *wire)
 		if err != nil {
 			return fmt.Errorf("shard %s: %w", u, err)
 		}
 		envs = append(envs, env)
+		gathered += len(env)
 	}
 	merged, d, err := cluster.MergeEnvelopes(envs)
 	if err != nil {
@@ -139,7 +145,7 @@ func runClusterMerge(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %s over %d shards\n", *name, d.Name, len(envs))
+	fmt.Printf("%s: %s over %d shards (%d gathered bytes)\n", *name, d.Name, len(envs), gathered)
 	keys := make([]string, 0, len(res))
 	for k := range res {
 		keys = append(keys, k)

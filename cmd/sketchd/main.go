@@ -103,10 +103,17 @@ func main() {
 		"refill window for -query-budget")
 	ttlSweep := flag.Duration("ttl-sweep-interval", 30*time.Second,
 		"interval between TTL eviction sweeps (<=0 disables the reaper; expired sketches then linger)")
+	saltSeeds := flag.Bool("salt-seeds", false,
+		"derive per-(tenant,name) hash seeds for creates with no explicit seed, so sketches stop "+
+			"sharing one hash function; replicas of the same sketch still derive the same seed "+
+			"(use the same setting on every shard and across restarts)")
+	slimGather := flag.Bool("slim-gather", false,
+		"coordinator mode: scatter-gather reads fetch slim envelopes (?wire=slim) from the shards — "+
+			"fewer bytes per gather; families without a slim form still ship full envelopes")
 	flag.Parse()
 
 	if *coordinator {
-		runCoordinator(*addr, *shards, *vnodes)
+		runCoordinator(*addr, *shards, *vnodes, *slimGather)
 		return
 	}
 
@@ -121,6 +128,12 @@ func main() {
 	}
 
 	srv := server.New()
+	if *saltSeeds {
+		// Before recovery: replayed creates carry stamped seeds, but new
+		// creates must salt from the first request on.
+		srv.SetSaltSeeds(true)
+		log.Printf("sketchd: salting hash seeds per (tenant, sketch)")
+	}
 	if *tenantMaxSketches > 0 || *tenantMaxBytes > 0 || *tenantMaxQPS > 0 {
 		srv.SetTenantQuota(server.TenantQuota{
 			MaxSketches: *tenantMaxSketches,
@@ -208,12 +221,13 @@ func main() {
 
 // runCoordinator serves the cluster-facing /v1/sketch API over a shard
 // fleet and blocks until SIGINT/SIGTERM.
-func runCoordinator(addr, shardList string, vnodes int) {
+func runCoordinator(addr, shardList string, vnodes int, slimGather bool) {
 	if shardList == "" {
 		log.Fatalf("sketchd: -coordinator requires -shards url1,url2,...")
 	}
 	coord, err := cluster.NewCoordinator(strings.Split(shardList, ","), cluster.Options{
 		VirtualNodes: vnodes,
+		SlimGather:   slimGather,
 	})
 	if err != nil {
 		log.Fatalf("sketchd: coordinator: %v", err)

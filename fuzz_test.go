@@ -135,6 +135,35 @@ func FuzzCountSketchUnmarshal(f *testing.F) {
 	})
 }
 
+func FuzzSFDecode(f *testing.F) {
+	s := sketch.NewSFSketch(64, 3, 256, 3, 4)
+	s.AddString("seed")
+	s.AddUint64(7, 3)
+	full, _ := s.MarshalBinary()
+	corpusFor(f, full)
+	slim, _ := s.MarshalSlim()
+	corpusFor(f, slim)
+	// A mode byte beyond slim in an otherwise valid envelope.
+	if len(full) > 8 {
+		bad := append([]byte(nil), full...)
+		bad[6] = 2 // GSK1 magic (4) + tag (1) + version (1), then mode
+		f.Add(bad)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var g sketch.SFSketch
+		if err := g.UnmarshalBinary(in); err == nil {
+			g.AddString("post")
+			_ = g.EstimateString("post")
+			_ = g.SlimOnly()
+			if out, err := g.MarshalBinary(); err != nil {
+				t.Fatalf("re-marshal of decoded sketch failed: %v", err)
+			} else if len(out) == 0 {
+				t.Fatal("empty re-marshal")
+			}
+		}
+	})
+}
+
 func FuzzBlockedBloomUnmarshal(f *testing.F) {
 	b := sketch.NewBlockedBloomWithEstimates(100, 0.01, 1)
 	b.AddString("seed")

@@ -98,6 +98,45 @@ func clusterScatterGather(b *testing.B) {
 	}
 }
 
+// clusterSlimSnapshot measures the wire-efficient global read end to
+// end over loopback HTTP: the coordinator scatter-gathers 4 shards'
+// SLIM sfsketch envelopes through its pooled read buffers, tree-merges
+// them, and serves the merged envelope. The companion to
+// clusterScatterGather — the delta between the two is the slim-wire
+// saving plus the pooled-buffer path.
+func clusterSlimSnapshot(b *testing.B) {
+	coord, stop := clusterHarness(b, 4)
+	defer stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := &http.Server{Handler: coord}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	const lines = 4096
+	var body []byte
+	for i := 0; i < lines; i++ {
+		body = append(body, "item"+strconv.Itoa(i)+"\n"...)
+	}
+	for _, u := range coord.Shards() {
+		if err := client.New(u).Create("bench", server.CreateRequest{Type: "sfsketch", Width: 512, Depth: 4, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, fails := coord.FanOutAdd("bench", body); len(fails) > 0 {
+		b.Fatalf("seed ingest failed: %v", fails)
+	}
+	cl := client.New("http://" + ln.Addr().String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.SnapshotWire("bench", "slim"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // clusterRingRoute measures the pure routing lookup: one XXHash64 plus
 // a binary search over the 4-shard, 128-vnode ring.
 func clusterRingRoute(b *testing.B) {

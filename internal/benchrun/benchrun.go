@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/concurrent"
 	"repro/internal/frequency"
 	"repro/internal/hashx"
+	typereg "repro/internal/registry"
 	"repro/internal/server"
 )
 
@@ -313,10 +315,31 @@ func Benchmarks() []NamedBench {
 			w.Flush()
 			h.Sync()
 		}},
+		{"SFSketchAddUint64", func(b *testing.B) {
+			sf := frequency.NewSFSketch(512, 4, 4096, 4, 1)
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sf.AddUint64(uint64(i), 1)
+			}
+		}},
+		{"SFSketchAddHashBatch", func(b *testing.B) {
+			sf := frequency.NewSFSketch(512, 4, 4096, 4, 1)
+			hs := make([]uint64, 1024)
+			for i := range hs {
+				hs[i] = hashx.HashUint64(uint64(i), 1)
+			}
+			b.SetBytes(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(hs) {
+				sf.AddHashBatch(hs)
+			}
+		}},
 		{"ServerCountMinIngest", serverCountMinIngest},
 		{"ClusterRingRoute", clusterRingRoute},
 		{"ClusterFanOutAdd4", clusterFanOutAdd},
 		{"ClusterScatterGather4", clusterScatterGather},
+		{"ClusterSlimSnapshot4", clusterSlimSnapshot},
 		{"XXHash64String64B", func(b *testing.B) {
 			s := string(make([]byte, 64))
 			b.SetBytes(64)
@@ -370,19 +393,70 @@ type Result struct {
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
 }
 
+// WireBytes records one family's serialized envelope sizes after a
+// fixed reference ingest: the full form (what durability, replication
+// and default reads ship) and, for families with a slim wire form, the
+// slim envelope. Transmitted bytes are a tracked performance budget
+// exactly like ns/op — benchdiff reports their deltas so a format
+// change that quietly fattens the wire shows up in review.
+type WireBytes struct {
+	Type      string `json:"type"`
+	FullBytes int    `json:"full_bytes"`
+	SlimBytes int    `json:"slim_bytes,omitempty"`
+}
+
 // Report is the BENCH_*.json document. Schema 2 adds the host
 // description (cpu_model, cache_line_bytes) so a reader comparing two
 // reports can tell a code regression from a machine change — ns/op
 // across different CPU models is not a diff, it's two experiments.
+// Schema 3 adds wire_bytes: per-family envelope sizes at a fixed
+// reference ingest, split full vs slim.
 type Report struct {
-	Schema         int      `json:"schema"`
-	GoVersion      string   `json:"go_version"`
-	GOOS           string   `json:"goos"`
-	GOARCH         string   `json:"goarch"`
-	GOMAXPROCS     int      `json:"gomaxprocs"`
-	CPUModel       string   `json:"cpu_model,omitempty"`
-	CacheLineBytes int      `json:"cache_line_bytes,omitempty"`
-	Results        []Result `json:"results"`
+	Schema         int         `json:"schema"`
+	GoVersion      string      `json:"go_version"`
+	GOOS           string      `json:"goos"`
+	GOARCH         string      `json:"goarch"`
+	GOMAXPROCS     int         `json:"gomaxprocs"`
+	CPUModel       string      `json:"cpu_model,omitempty"`
+	CacheLineBytes int         `json:"cache_line_bytes,omitempty"`
+	WireBytes      []WireBytes `json:"wire_bytes,omitempty"`
+	Results        []Result    `json:"results"`
+}
+
+// wireSizes measures every servable family's envelope sizes after the
+// same 1024-line reference ingest (numeric lines, which every input
+// kind accepts). Families whose default ingest rejects the reference
+// batch are recorded with their post-create envelope instead — size
+// still tracks format changes, which is what the diff is for.
+func wireSizes() []WireBytes {
+	var items [][]byte
+	for i := 0; i < 1024; i++ {
+		items = append(items, []byte(strconv.Itoa(i*7919%100000)))
+	}
+	var out []WireBytes
+	for _, d := range typereg.All() {
+		if !d.Servable() {
+			continue
+		}
+		entry, err := server.NewEntry(server.CreateRequest{Type: d.Name})
+		if err != nil {
+			continue
+		}
+		_ = entry.Add(items)
+		full, err := entry.Snapshot()
+		if err != nil {
+			entry.Close()
+			continue
+		}
+		wb := WireBytes{Type: d.Name, FullBytes: len(full)}
+		if slim, used, err := entry.SnapshotWire(true); err == nil && used {
+			wb.SlimBytes = len(slim)
+		}
+		entry.Close()
+		out = append(out, wb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
 }
 
 // hostCPUModel reads the CPU model name from /proc/cpuinfo. Empty on
@@ -419,13 +493,14 @@ func hostCacheLineBytes() int {
 // test.benchtime flag (see cmd/sketchbench).
 func Run(progress func(name string)) Report {
 	rep := Report{
-		Schema:         2,
+		Schema:         3,
 		GoVersion:      runtime.Version(),
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		CPUModel:       hostCPUModel(),
 		CacheLineBytes: hostCacheLineBytes(),
+		WireBytes:      wireSizes(),
 	}
 	for _, nb := range Benchmarks() {
 		if progress != nil {

@@ -34,6 +34,13 @@ type Options struct {
 	RetryBackoff time.Duration
 	// HTTPClient overrides the pooled default for all shard calls.
 	HTTPClient *http.Client
+	// SlimGather makes scatter-gather reads request each shard's slim
+	// envelope (?wire=slim) by default: families with a slim form (the
+	// SF-sketch) ship a fraction of the bytes, everything else answers
+	// full, unchanged. A per-request ?wire=full|slim on the coordinator
+	// overrides it either way. Off by default — full envelopes keep
+	// merged reads bit-identical to a single server for every family.
+	SlimGather bool
 }
 
 func (o *Options) applyDefaults(shards int) {
@@ -60,6 +67,8 @@ type CoordCounters struct {
 	Queries        core.Counter // scatter-gather queries answered
 	PartialQueries core.Counter // queries answered with a shard missing
 	ShardFailures  core.Counter // shard calls that failed after retries
+	GatherBytes    core.Counter // envelope bytes read from shards by gathers
+	SlimGathers    core.Counter // gathers that requested slim envelopes
 }
 
 // CoordCountersSnapshot is the JSON rendering of CoordCounters.
@@ -71,6 +80,8 @@ type CoordCountersSnapshot struct {
 	Queries        uint64 `json:"queries"`
 	PartialQueries uint64 `json:"partial_queries"`
 	ShardFailures  uint64 `json:"shard_failures"`
+	GatherBytes    uint64 `json:"gather_bytes"`
+	SlimGathers    uint64 `json:"slim_gathers"`
 }
 
 func (c *CoordCounters) snapshot() CoordCountersSnapshot {
@@ -82,6 +93,8 @@ func (c *CoordCounters) snapshot() CoordCountersSnapshot {
 		Queries:        c.Queries.Load(),
 		PartialQueries: c.PartialQueries.Load(),
 		ShardFailures:  c.ShardFailures.Load(),
+		GatherBytes:    c.GatherBytes.Load(),
+		SlimGathers:    c.SlimGathers.Load(),
 	}
 }
 
@@ -101,7 +114,8 @@ type Coordinator struct {
 	sem     chan struct{}
 	mux     *http.ServeMux
 
-	routePool sync.Pool // *[][]byte per-shard ingest buckets
+	routePool  sync.Pool // *[][]byte per-shard ingest buckets
+	gatherPool sync.Pool // *[][]byte per-shard envelope read buffers
 }
 
 // NewCoordinator builds a coordinator over shard base URLs.
@@ -140,6 +154,10 @@ func NewCoordinator(shards []string, opts Options) (*Coordinator, error) {
 			buckets[i] = make([]byte, 0, 16<<10)
 		}
 		return &buckets
+	}
+	c.gatherPool.New = func() any {
+		bufs := make([][]byte, len(c.shards))
+		return &bufs // per-shard capacities grow to envelope size on first use
 	}
 	c.buildMux()
 	return c, nil
@@ -372,6 +390,51 @@ func (c *Coordinator) GatherTenant(tenant, name string) ([][]byte, []ShardError)
 		ok = append(ok, envs[i])
 	}
 	return ok, failed
+}
+
+// gatherPooled is the serving-path scatter-gather: every shard's
+// envelope is read into a pooled per-shard buffer (client.SnapshotAppend
+// reuses the buffer's capacity), so a steady-state read stops paying a
+// fresh envelope allocation per shard per query. slim requests each
+// shard's slim envelope. The returned envelopes alias the pooled
+// buffers: the caller must finish with them (decode/merge copies out)
+// before calling release, and must not retain them past it.
+func (c *Coordinator) gatherPooled(tenant, name string, slim bool) (envs [][]byte, fails []ShardError, release func()) {
+	wire := ""
+	if slim {
+		wire = "slim"
+		c.ops.SlimGathers.Inc()
+	}
+	bp := c.gatherPool.Get().(*[][]byte)
+	bufs := *bp
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.callShard(i, func(cl *client.Client) error {
+				data, err := cl.Tenant(tenant).SnapshotAppend(name, wire, bufs[i])
+				bufs[i] = data // keep the (possibly grown) buffer either way
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	var total uint64
+	for i := range c.shards {
+		if errs[i] != nil {
+			fails = append(fails, shardError(c.shards[i], errs[i]))
+			continue
+		}
+		envs = append(envs, bufs[i])
+		total += uint64(len(bufs[i]))
+	}
+	c.ops.GatherBytes.Add(total)
+	return envs, fails, func() {
+		*bp = bufs
+		c.gatherPool.Put(bp)
+	}
 }
 
 // MergeEnvelopes decodes same-type GSK1 envelopes and tree-merges them

@@ -229,12 +229,35 @@ func (c *Coordinator) handleAdd(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"added": items})
 }
 
-// gatherMerged runs the scatter-gather + tree-merge for a read. It
-// writes the error response itself when the read cannot be answered
-// under the request's partial-failure policy.
+// wireMode resolves a read's envelope form: an explicit ?wire=full or
+// ?wire=slim wins, otherwise the coordinator's SlimGather default
+// applies. The error return is a client mistake (400).
+func (c *Coordinator) wireMode(r *http.Request) (slim bool, err error) {
+	switch wire := r.URL.Query().Get("wire"); wire {
+	case "":
+		return c.opts.SlimGather, nil
+	case "full":
+		return false, nil
+	case "slim":
+		return true, nil
+	default:
+		return false, fmt.Errorf("bad wire mode %q (want full or slim)", wire)
+	}
+}
+
+// gatherMerged runs the scatter-gather + tree-merge for a read over
+// pooled envelope buffers. It writes the error response itself when
+// the read cannot be answered under the request's partial-failure
+// policy.
 func (c *Coordinator) gatherMerged(w http.ResponseWriter, r *http.Request, tenant, name string) (merged any, d *registry.Descriptor, fails []ShardError, ok bool) {
 	c.ops.Queries.Inc()
-	envs, fails := c.GatherTenant(tenant, name)
+	slim, err := c.wireMode(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, nil, nil, false
+	}
+	envs, fails, release := c.gatherPooled(tenant, name, slim)
+	defer release()
 	if len(fails) > 0 && !allowPartial(r) {
 		shardFailure(w, tenant, "scatter-gather", fails)
 		return nil, nil, fails, false
@@ -246,7 +269,7 @@ func (c *Coordinator) gatherMerged(w http.ResponseWriter, r *http.Request, tenan
 	if len(fails) > 0 {
 		c.ops.PartialQueries.Inc()
 	}
-	merged, d, err := MergeEnvelopes(envs)
+	merged, d, err = MergeEnvelopes(envs)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "merge shards: %v", err)
 		return nil, nil, fails, false

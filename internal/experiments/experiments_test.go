@@ -10,7 +10,7 @@ func TestIDsOrderedAndComplete(t *testing.T) {
 	want := []string{"E1", "E2", "E3", "E4", "E4a", "E4b", "E5", "E5a",
 		"E6", "E6a", "E7", "E7a", "E8", "E9", "E10", "E11", "E12", "E13",
 		"E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24",
-		"E25", "E27", "E28", "E29", "E30", "E31", "E32"}
+		"E25", "E27", "E28", "E29", "E30", "E31", "E32", "E33"}
 	if len(ids) != len(want) {
 		t.Fatalf("got %d experiments %v, want %d", len(ids), ids, len(want))
 	}

@@ -1,0 +1,466 @@
+package frequency
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hashx"
+)
+
+// SFSketch is the two-stage Slim-Fat sketch (Yang et al., "SF-sketch:
+// A Two-stage Sketch for Data Streams"): a large *fat* Count-Min grid
+// absorbs every update locally, and a small *slim* grid — the only
+// stage that ships on the wire — is raised conditionally, one counter
+// per row, never past the fat stage's current estimate of the item.
+// Because the slim counters track per-item estimates instead of raw
+// collision sums, a slim grid of w_s counters answers point queries
+// with error close to the fat stage's (width ratio·w_s) rather than a
+// plain Count-Min's at width w_s: far better accuracy per transmitted
+// byte, which is the whole game for scatter-gather reads, bundles and
+// federated fan-ins.
+//
+// Invariant (never undercount): when item e arrives with weight w, the
+// fat stage is updated first, so its estimate F satisfies F ≥ f(e).
+// Each slim counter c covering e is then raised to min(c+w, F) — and
+// only if c < F. By induction c ≥ f(e) before the update, so both
+// c+w ≥ f(e)+w and F ≥ f(e)+w keep the counter an overestimate; other
+// items sharing the counter only ever see it grow. A point query is
+// the minimum over the slim rows, exactly as in Count-Min.
+//
+// Both stages derive their row positions from ONE 64-bit hash of the
+// item (the hash-once discipline of the Count-Min fast lane): the fat
+// rows by double hashing h directly, the slim rows by double hashing a
+// remixed copy of h, so slim-only decoders can still address queries
+// from (item, seed) alone. Updates and queries are 0 allocs/op.
+type SFSketch struct {
+	slim      [][]uint64 // slimDepth × slimWidth; the wire stage
+	fat       [][]uint64 // fatDepth × fatWidth; nil in a slim-only instance
+	slimWidth int
+	slimDepth int
+	fatWidth  int
+	fatDepth  int
+	seed      uint64
+	n         uint64 // total weight, both stages' streams are identical
+}
+
+// sfSlimSalt decorrelates the slim stage's double-hashing stream from
+// the fat stage's: the slim rows address from Mix64(h ^ sfSlimSalt)
+// rather than h itself, so an item's slim buckets are independent of
+// its fat buckets while still deriving from the single item hash.
+const sfSlimSalt = 0xd6e8feb86659fd93
+
+func sfSlimHash(h uint64) uint64 { return hashx.Mix64(h ^ sfSlimSalt) }
+
+// sfMaxDepth caps decoded stage depths; real configurations use
+// depth = O(log 1/δ) ≲ 30, so anything larger is corrupt input.
+const sfMaxDepth = 64
+
+// NewSFSketch creates a two-stage SF-sketch: a slimWidth×slimDepth
+// slim stage (the wire representation) backed by a fatWidth×fatDepth
+// fat stage (the update absorber). fatWidth is usually a small
+// multiple of slimWidth — the paper's regime — and both stages share
+// one hash seed.
+func NewSFSketch(slimWidth, slimDepth, fatWidth, fatDepth int, seed uint64) *SFSketch {
+	if slimWidth < 1 || slimDepth < 1 || fatWidth < 1 || fatDepth < 1 {
+		panic("frequency: SFSketch dimensions must be positive")
+	}
+	s := &SFSketch{
+		slim:      makeGrid(slimDepth, slimWidth),
+		fat:       makeGrid(fatDepth, fatWidth),
+		slimWidth: slimWidth,
+		slimDepth: slimDepth,
+		fatWidth:  fatWidth,
+		fatDepth:  fatDepth,
+		seed:      seed,
+	}
+	return s
+}
+
+func makeGrid(depth, width int) [][]uint64 {
+	g := make([][]uint64, depth)
+	for i := range g {
+		g[i] = make([]uint64, width)
+	}
+	return g
+}
+
+// Add increments item's count by weight: one hash pass, every row
+// position in both stages derived from it.
+func (s *SFSketch) Add(item []byte, weight uint64) {
+	s.AddHash(hashx.XXHash64(item, s.seed), weight)
+}
+
+// AddUint64 increments an integer item's count by weight.
+func (s *SFSketch) AddUint64(item, weight uint64) {
+	s.AddHash(hashx.HashUint64(item, s.seed), weight)
+}
+
+// AddString increments a string item's count by one without copying or
+// allocating.
+func (s *SFSketch) AddString(item string) {
+	s.AddHash(hashx.XXHash64String(item, s.seed), 1)
+}
+
+// Update implements core.Updater (weight 1).
+func (s *SFSketch) Update(item []byte) { s.Add(item, 1) }
+
+// AddHash folds a pre-hashed item into both stages. On a full-fat
+// instance the fat rows are bumped first and their post-update minimum
+// caps the conditional slim updates. A slim-only instance (decoded
+// from a slim envelope) has no fat stage to consult, so it degrades to
+// a plain Count-Min update over the slim grid — still never an
+// undercount, just without the two-stage accuracy gain; slim-only
+// instances exist to be queried and merged, not to absorb streams.
+func (s *SFSketch) AddHash(h, weight uint64) {
+	s.n += weight
+	hs := sfSlimHash(h)
+	hs2 := hashx.DeriveH2(hs)
+	sw := uint64(s.slimWidth)
+	if s.fat == nil {
+		y := hs
+		for r := range s.slim {
+			s.slim[r][hashx.FastRange(y, sw)] += weight
+			y += hs2
+		}
+		return
+	}
+	// Fat stage: plain double-hashed adds; the running minimum of the
+	// *new* counter values is exactly the post-update fat estimate.
+	h2 := hashx.DeriveH2(h)
+	fw := uint64(s.fatWidth)
+	x := h
+	fatEst := uint64(math.MaxUint64)
+	for r := range s.fat {
+		row := s.fat[r]
+		j := hashx.FastRange(x, fw)
+		v := row[j] + weight
+		row[j] = v
+		if v < fatEst {
+			fatEst = v
+		}
+		x += h2
+	}
+	// Slim stage: raise each counter toward the fat estimate, never
+	// past it. Counters already at or above fatEst are left alone.
+	y := hs
+	for r := range s.slim {
+		row := s.slim[r]
+		j := hashx.FastRange(y, sw)
+		if c := row[j]; c < fatEst {
+			if nc := c + weight; nc < fatEst {
+				row[j] = nc
+			} else {
+				row[j] = fatEst
+			}
+		}
+		y += hs2
+	}
+}
+
+// AddBatch increments each item's count by one. Chunks are hashed with
+// pure ALU work before the counter updates stream, as in
+// CountMin.AddBatch; the per-item update itself stays scalar because
+// the conditional slim update is read-dependent and order-sensitive
+// (like conservative update). State is byte-identical to calling
+// Add(item, 1) per item in order.
+func (s *SFSketch) AddBatch(items [][]byte) {
+	var hs [ingestChunk]uint64
+	for len(items) > 0 {
+		n := len(items)
+		if n > ingestChunk {
+			n = ingestChunk
+		}
+		for i, item := range items[:n] {
+			hs[i] = hashx.XXHash64(item, s.seed)
+		}
+		s.AddHashBatch(hs[:n])
+		items = items[n:]
+	}
+}
+
+// AddHashBatch folds many pre-hashed items in, each with weight 1, in
+// order. Byte-identical to calling AddHash per item.
+func (s *SFSketch) AddHashBatch(hs []uint64) {
+	for _, h := range hs {
+		s.AddHash(h, 1)
+	}
+}
+
+// Estimate returns the point-query estimate for item: the minimum over
+// the slim rows. Never an undercount (see the type invariant).
+func (s *SFSketch) Estimate(item []byte) uint64 {
+	return s.EstimateHash(hashx.XXHash64(item, s.seed))
+}
+
+// EstimateUint64 returns the point-query estimate for an integer item.
+func (s *SFSketch) EstimateUint64(item uint64) uint64 {
+	return s.EstimateHash(hashx.HashUint64(item, s.seed))
+}
+
+// EstimateString returns the point-query estimate for a string item
+// without copying or allocating.
+func (s *SFSketch) EstimateString(item string) uint64 {
+	return s.EstimateHash(hashx.XXHash64String(item, s.seed))
+}
+
+// EstimateHash answers a point query for a pre-hashed item from the
+// slim stage.
+func (s *SFSketch) EstimateHash(h uint64) uint64 {
+	hs := sfSlimHash(h)
+	hs2 := hashx.DeriveH2(hs)
+	sw := uint64(s.slimWidth)
+	est := uint64(math.MaxUint64)
+	y := hs
+	for r := range s.slim {
+		if v := s.slim[r][hashx.FastRange(y, sw)]; v < est {
+			est = v
+		}
+		y += hs2
+	}
+	return est
+}
+
+// FatEstimate answers a point query from the fat stage — the estimate
+// a same-size plain Count-Min would give. It exists for diagnostics
+// and the accuracy-per-byte experiment (E33); slim-only instances
+// fall back to the slim estimate.
+func (s *SFSketch) FatEstimate(item []byte) uint64 {
+	if s.fat == nil {
+		return s.Estimate(item)
+	}
+	h := hashx.XXHash64(item, s.seed)
+	h2 := hashx.DeriveH2(h)
+	fw := uint64(s.fatWidth)
+	est := uint64(math.MaxUint64)
+	x := h
+	for r := range s.fat {
+		if v := s.fat[r][hashx.FastRange(x, fw)]; v < est {
+			est = v
+		}
+		x += h2
+	}
+	return est
+}
+
+// N returns the total weight added.
+func (s *SFSketch) N() uint64 { return s.n }
+
+// Seed returns the hash seed the sketch was created with.
+func (s *SFSketch) Seed() uint64 { return s.seed }
+
+// Width returns the slim-stage width (the wire-relevant dimension).
+func (s *SFSketch) Width() int { return s.slimWidth }
+
+// Depth returns the slim-stage depth.
+func (s *SFSketch) Depth() int { return s.slimDepth }
+
+// FatWidth returns the fat-stage width.
+func (s *SFSketch) FatWidth() int { return s.fatWidth }
+
+// FatDepth returns the fat-stage depth.
+func (s *SFSketch) FatDepth() int { return s.fatDepth }
+
+// SlimOnly reports whether this instance carries only the slim stage
+// (decoded from a slim envelope or merged from slim envelopes).
+func (s *SFSketch) SlimOnly() bool { return s.fat == nil }
+
+// SizeBytes returns the resident counter storage: both stages on a
+// full instance, the slim grid alone on a slim-only one.
+func (s *SFSketch) SizeBytes() int {
+	sz := s.slimDepth * s.slimWidth * 8
+	if s.fat != nil {
+		sz += s.fatDepth * s.fatWidth * 8
+	}
+	return sz
+}
+
+// SlimSizeBytes returns the slim-stage counter bytes — the payload a
+// slim envelope ships (plus the fixed header).
+func (s *SFSketch) SlimSizeBytes() int { return s.slimDepth * s.slimWidth * 8 }
+
+// ErrorBound returns the fat stage's additive error bound ε·N =
+// (e/fatWidth)·N — the error regime the slim estimates track. For a
+// slim-only instance the bound degrades to the slim width's.
+func (s *SFSketch) ErrorBound() float64 {
+	w := s.fatWidth
+	if s.fat == nil {
+		w = s.slimWidth
+	}
+	return math.E / float64(w) * float64(s.n)
+}
+
+func (s *SFSketch) compatible(other *SFSketch) error {
+	if s.slimWidth != other.slimWidth || s.slimDepth != other.slimDepth ||
+		s.fatWidth != other.fatWidth || s.fatDepth != other.fatDepth || s.seed != other.seed {
+		return fmt.Errorf("%w: sf-sketch slim %dx%d fat %dx%d seed=%d vs slim %dx%d fat %dx%d seed=%d",
+			core.ErrIncompatible,
+			s.slimWidth, s.slimDepth, s.fatWidth, s.fatDepth, s.seed,
+			other.slimWidth, other.slimDepth, other.fatWidth, other.fatDepth, other.seed)
+	}
+	return nil
+}
+
+// Merge folds another sketch's counters in cell-wise. Full+full merges
+// sum both stages; slim+slim merges (the query-side path a coordinator
+// uses after a slim gather) sum the slim grids — the sum of per-shard
+// overestimates is still an overestimate of the combined stream, at
+// some conservatism cost relative to a full merge. Mixing a full and a
+// slim-only instance is rejected: a fat stage that missed part of the
+// stream would cap later conditional updates below the true count and
+// break the no-undercount invariant.
+func (s *SFSketch) Merge(other *SFSketch) error {
+	if err := s.compatible(other); err != nil {
+		return err
+	}
+	if (s.fat == nil) != (other.fat == nil) {
+		return fmt.Errorf("%w: sf-sketch slim-only and full-fat instances do not merge", core.ErrIncompatible)
+	}
+	for r := range s.slim {
+		for j, v := range other.slim[r] {
+			s.slim[r][j] += v
+		}
+	}
+	if s.fat != nil {
+		for r := range s.fat {
+			for j, v := range other.fat[r] {
+				s.fat[r][j] += v
+			}
+		}
+	}
+	s.n += other.n
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *SFSketch) Clone() *SFSketch {
+	cp := &SFSketch{
+		slim:      makeGrid(s.slimDepth, s.slimWidth),
+		slimWidth: s.slimWidth,
+		slimDepth: s.slimDepth,
+		fatWidth:  s.fatWidth,
+		fatDepth:  s.fatDepth,
+		seed:      s.seed,
+		n:         s.n,
+	}
+	for r := range s.slim {
+		copy(cp.slim[r], s.slim[r])
+	}
+	if s.fat != nil {
+		cp.fat = makeGrid(s.fatDepth, s.fatWidth)
+		for r := range s.fat {
+			copy(cp.fat[r], s.fat[r])
+		}
+	}
+	return cp
+}
+
+// Mode byte values in the SF wire envelope.
+const (
+	sfModeFull byte = 0 // both stages on the wire (durability, replication)
+	sfModeSlim byte = 1 // slim stage only (scatter-gather, bundles)
+)
+
+// MarshalBinary serializes the sketch: full mode when the fat stage is
+// resident, slim mode for a slim-only instance — so a slim envelope
+// decodes and re-marshals byte-identically. Durability and replication
+// always see full envelopes (they need byte-identical recovery of the
+// whole state); slim envelopes are produced on demand by MarshalSlim
+// for the wire paths that trade state for bytes.
+func (s *SFSketch) MarshalBinary() ([]byte, error) {
+	if s.fat == nil {
+		return s.MarshalSlim()
+	}
+	w := s.marshalHeader(sfModeFull)
+	for _, row := range s.slim {
+		w.U64Slice(row)
+	}
+	for _, row := range s.fat {
+		w.U64Slice(row)
+	}
+	return w.Bytes(), nil
+}
+
+// MarshalSlim serializes the slim stage only: the same versioned GSK1
+// envelope with the slim mode byte, both stages' shapes (so merge
+// compatibility checks survive the trip), and just the slim grid.
+// For the default shape the payload is fatWidth/slimWidth-times
+// smaller than a full envelope.
+func (s *SFSketch) MarshalSlim() ([]byte, error) {
+	w := s.marshalHeader(sfModeSlim)
+	for _, row := range s.slim {
+		w.U64Slice(row)
+	}
+	return w.Bytes(), nil
+}
+
+func (s *SFSketch) marshalHeader(mode byte) *core.Writer {
+	w := core.NewWriter(core.TagSFSketch, 1)
+	w.U8(mode)
+	w.U32(uint32(s.slimWidth))
+	w.U32(uint32(s.slimDepth))
+	w.U32(uint32(s.fatWidth))
+	w.U32(uint32(s.fatDepth))
+	w.U64(s.seed)
+	w.U64(s.n)
+	return w
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary or
+// MarshalSlim. A slim envelope yields a slim-only instance (fat stage
+// nil) that answers queries and merges with other slim-only peers.
+func (s *SFSketch) UnmarshalBinary(data []byte) error {
+	r, _, err := core.NewReaderVersioned(data, core.TagSFSketch, 1)
+	if err != nil {
+		return err
+	}
+	mode := r.U8()
+	slimWidth := int(r.U32())
+	slimDepth := int(r.U32())
+	fatWidth := int(r.U32())
+	fatDepth := int(r.U32())
+	seed := r.U64()
+	n := r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if mode > sfModeSlim {
+		return fmt.Errorf("%w: sf-sketch mode byte %d", core.ErrCorrupt, mode)
+	}
+	if slimWidth < 1 || slimDepth < 1 || slimDepth > sfMaxDepth ||
+		fatWidth < 1 || fatDepth < 1 || fatDepth > sfMaxDepth {
+		return fmt.Errorf("%w: sf-sketch dims slim %dx%d fat %dx%d",
+			core.ErrCorrupt, slimWidth, slimDepth, fatWidth, fatDepth)
+	}
+	slim := make([][]uint64, slimDepth)
+	for i := range slim {
+		slim[i] = r.U64Slice()
+		if len(slim[i]) != slimWidth {
+			return fmt.Errorf("%w: sf-sketch slim row %d length %d", core.ErrCorrupt, i, len(slim[i]))
+		}
+	}
+	var fat [][]uint64
+	if mode == sfModeFull {
+		fat = make([][]uint64, fatDepth)
+		for i := range fat {
+			fat[i] = r.U64Slice()
+			if len(fat[i]) != fatWidth {
+				return fmt.Errorf("%w: sf-sketch fat row %d length %d", core.ErrCorrupt, i, len(fat[i]))
+			}
+		}
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	*s = SFSketch{
+		slim:      slim,
+		fat:       fat,
+		slimWidth: slimWidth,
+		slimDepth: slimDepth,
+		fatWidth:  fatWidth,
+		fatDepth:  fatDepth,
+		seed:      seed,
+		n:         n,
+	}
+	return nil
+}

@@ -352,6 +352,34 @@ func Marshal(inst any) ([]byte, error) {
 	return m.MarshalBinary()
 }
 
+// SlimMarshaler is the optional wire-efficiency interface: families
+// whose full state splits into a resident part and a much smaller
+// query-sufficient part (the SF-sketch's fat and slim stages) also
+// serialize a slim envelope — same GSK1 tag, decodable by the same
+// registry decoder, mergeable with other slim envelopes — carrying
+// only the bytes a remote reader needs. Byte-exact paths (durability,
+// replication) always use MarshalBinary; wire paths that trade state
+// for bytes (?wire=slim snapshots, scatter-gather) ask for this.
+type SlimMarshaler interface {
+	MarshalSlim() ([]byte, error)
+}
+
+// MarshalWire serializes an instance for the wire: the slim envelope
+// when slim is requested and the instance supports it, the full
+// MarshalBinary envelope otherwise. The second result reports whether
+// the slim form was actually used, so callers can count slim vs full
+// wire bytes per family.
+func MarshalWire(inst any, slim bool) ([]byte, bool, error) {
+	if slim {
+		if sm, ok := inst.(SlimMarshaler); ok {
+			data, err := sm.MarshalSlim()
+			return data, err == nil, err
+		}
+	}
+	data, err := Marshal(inst)
+	return data, false, err
+}
+
 // SizeOf reports an instance's in-memory footprint: its own SizeBytes
 // accounting when present, otherwise the serialized length as a floor.
 func SizeOf(inst any) int {

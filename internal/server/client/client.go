@@ -165,21 +165,62 @@ func (c *Client) MergeMany(name string, envelopes [][]byte) error {
 	return c.post(c.url(name, "merge"), "application/octet-stream", server.EncodeBundle(envelopes), nil)
 }
 
-// Snapshot fetches the sketch's serialization envelope.
+// Snapshot fetches the sketch's full serialization envelope.
 func (c *Client) Snapshot(name string) ([]byte, error) {
-	resp, err := c.hc.Get(c.url(name, "snapshot"))
+	return c.SnapshotAppend(name, "", nil)
+}
+
+// SnapshotWire fetches the envelope in a wire mode: "slim" asks the
+// server for the family's slim envelope (registry.SlimMarshaler;
+// families without one answer full, so the mode is a safe hint), ""
+// or "full" for the complete state.
+func (c *Client) SnapshotWire(name, wire string) ([]byte, error) {
+	return c.SnapshotAppend(name, wire, nil)
+}
+
+// SnapshotAppend fetches the envelope in the given wire mode,
+// appending into dst and reusing its capacity — the form the
+// coordinator's pooled scatter-gather path uses so a steady-state
+// gather stops allocating a fresh envelope buffer per shard per query.
+func (c *Client) SnapshotAppend(name, wire string, dst []byte) ([]byte, error) {
+	u := c.url(name, "snapshot")
+	if wire != "" {
+		u += "?wire=" + url.QueryEscape(wire)
+	}
+	resp, err := c.hc.Get(u)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := ReadAppend(resp.Body, dst[:0])
 	if err != nil {
-		return nil, err
+		return data, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, statusError(resp, data)
+		return data[:0], statusError(resp, data)
 	}
 	return data, nil
+}
+
+// ReadAppend drains r into dst, reusing dst's capacity and growing it
+// only when the payload outgrows it. io.ReadAll allocates a fresh
+// buffer per call; this is the reusable-buffer variant the pooled
+// gather path needs — steady state is 0 allocs once the buffer has
+// grown to the envelope size.
+func ReadAppend(r io.Reader, dst []byte) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
 
 // Delete drops the named sketch.

@@ -276,6 +276,25 @@ func (e *Entry) Snapshot() ([]byte, error) {
 	return m.MarshalBinary()
 }
 
+// SnapshotWire serializes the current state for the wire: the slim
+// envelope when requested and the family implements
+// registry.SlimMarshaler, the full envelope otherwise (so ?wire=slim
+// stays a no-op hint for families without a slim form). The second
+// result reports which form was served. Durability and replication
+// never come through here — they require the byte-exact full envelope.
+func (e *Entry) SnapshotWire(slim bool) ([]byte, bool, error) {
+	if _, ok := e.inst.(typereg.SlimMarshaler); !ok || !slim {
+		b, err := e.Snapshot()
+		return b, false, err
+	}
+	if e.lockFree {
+		return typereg.MarshalWire(e.inst, true)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return typereg.MarshalWire(e.inst, true)
+}
+
 // SizeBytes reports the in-memory sketch footprint.
 func (e *Entry) SizeBytes() int {
 	if e.lockFree {

@@ -143,6 +143,13 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	if spec.Create.TTLSeconds > 0 && spec.Create.CreatedUnix == 0 {
 		spec.Create.CreatedUnix = time.Now().Unix()
 	}
+	// Under -salt-seeds a seedless template derives its seed from
+	// (tenant, prefix): every group sketch of one fan-out family shares
+	// a hash function (they must — one template, one WAL record), but
+	// families and tenants stop sharing randomness with each other. The
+	// stamped spec is what the WAL record carries, so replay recreates
+	// identical seeds.
+	s.applySaltSeed(tenant, "groupby:"+spec.Prefix, &spec.Create)
 	// Validate the template once up front so a bad spec rejects the
 	// batch before any group sketch exists.
 	probe, err := NewEntry(spec.Create)

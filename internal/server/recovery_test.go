@@ -36,6 +36,7 @@ var recoveryFamilies = []struct {
 	{"reservoir", func(r int) string { return fmt.Sprintf("sample-%d\nsample-%d-y", r, r) }},       // sample
 	{"theta", func(r int) string { return fmt.Sprintf("theta-%d-a\ntheta-%d-b", r, r) }},           // cardinality, set algebra
 	{"spacesaving", func(r int) string { return fmt.Sprintf("heavy\t5\nlight-%d", r) }},            // frequency, heavy hitters
+	{"sfsketch", func(r int) string { return fmt.Sprintf("hot\t4\nwarm-%d\t2\ncool-%d", r, r) }},   // frequency, two-stage wire form
 }
 
 func durableServer(t *testing.T, dir string, opts durable.Options) (*Server, *httptest.Server, durable.RecoveryStats) {

@@ -1,0 +1,58 @@
+package server
+
+import "repro/internal/hashx"
+
+// Seed salting (-salt-seeds): by default every sketch created without
+// an explicit seed shares seed 1, which keeps cross-shard and
+// cross-server exchange trivially compatible but also means every
+// sketch shares one hash function — an adversarial stream that finds
+// collisions against one sketch finds them against all of them (the
+// PR 9 red-team headroom). With salting on, a seedless create derives
+// its seed from (tenant, name), so sketches stop sharing randomness
+// while every replica of the SAME sketch — the coordinator broadcasts
+// creates by (tenant, name) to all shards — still derives the SAME
+// seed, keeping cross-shard merges compatible.
+//
+// The derived seed is stamped into the CreateRequest BEFORE the create
+// is WAL-logged (exactly like the TTL CreatedUnix stamp), so crash
+// replay and follower replication reconstruct byte-identical state. An
+// explicit client seed always wins; the E30 cluster bit-identity pins
+// run in default mode (salting off) and are unaffected.
+
+// saltSeedBase is the fixed base seed of the derivation. Changing it
+// would re-seed every salted deployment's future creates; existing
+// sketches are unaffected (their seeds are stamped in their WAL
+// create records).
+const saltSeedBase = 0x5f3c0de5a17ed5ee
+
+// saltedSeed derives the per-(tenant, name) hash seed. Tenant and name
+// are joined with a NUL — neither may contain one (tenant names are
+// validated, sketch names travel in URL paths) — so ("ab","c") and
+// ("a","bc") derive differently. Seed 0 means "default" throughout the
+// system, so the derivation avoids it.
+func saltedSeed(tenant, name string) uint64 {
+	s := hashx.XXHash64String(tenant+"\x00"+name, saltSeedBase)
+	if s == 0 {
+		return saltSeedBase
+	}
+	return s
+}
+
+// SetSaltSeeds enables per-(tenant,name) seed derivation for creates
+// that carry no explicit seed (sketchd -salt-seeds). Select it before
+// serving traffic and use the same setting across a cluster's shards
+// and restarts: the WAL replays stamped seeds faithfully either way,
+// but new creates on differently-configured nodes would derive
+// different hash functions.
+func (s *Server) SetSaltSeeds(on bool) { s.saltSeeds = on }
+
+// applySaltSeed stamps the derived seed into a seedless CreateRequest.
+// Returns true when the request was modified (the caller re-marshals
+// the body it WAL-logs).
+func (s *Server) applySaltSeed(tenant, name string, req *CreateRequest) bool {
+	if !s.saltSeeds || req.Seed != 0 {
+		return false
+	}
+	req.Seed = saltedSeed(tenant, name)
+	return true
+}

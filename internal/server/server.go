@@ -70,7 +70,12 @@ type Server struct {
 	quota   TenantQuota
 	qb      QueryBudget
 
+	// saltSeeds derives per-(tenant,name) seeds for seedless creates
+	// (see salt.go). Set before serving; default off keeps seed 1.
+	saltSeeds bool
+
 	ops       core.OpCounters
+	wire      map[string]*wireCounters // per-family snapshot wire bytes
 	start     time.Time
 	bufPool   sync.Pool // *[]byte request-body buffers
 	itemsPool sync.Pool // *[][]byte split-batch item headers
@@ -93,6 +98,7 @@ type Server struct {
 func New() *Server {
 	s := &Server{
 		tenants: map[string]*tenantState{DefaultTenant: newTenantState(DefaultTenant)},
+		wire:    newWireCounters(),
 		start:   time.Now(),
 	}
 	s.bufPool.New = func() any {
@@ -180,10 +186,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "create body: %v", err)
 		return
 	}
-	// Stamp the creation time before the request is WAL-logged so
-	// recovery reconstructs the same TTL deadline.
+	// Stamp derived fields before the request is WAL-logged, so
+	// recovery reconstructs the same state: the creation time (TTL
+	// deadline) and, under -salt-seeds, the per-(tenant,name) seed.
+	stamp := s.applySaltSeed(tenant, name, &req)
 	if req.TTLSeconds > 0 && req.CreatedUnix == 0 {
 		req.CreatedUnix = time.Now().Unix()
+		stamp = true
+	}
+	if stamp {
 		stamped, err := json.Marshal(req)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "create body: %v", err)
@@ -357,13 +368,25 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if !s.guardRead(w, ts, e) {
 		return
 	}
-	data, err := e.entry.Snapshot()
+	// ?wire=slim asks for the family's slim envelope (the wire-efficient
+	// form, registry.SlimMarshaler); families without one serve the full
+	// envelope, so the parameter is a safe hint on any type.
+	wire := r.URL.Query().Get("wire")
+	if wire != "" && wire != "full" && wire != "slim" {
+		httpError(w, http.StatusBadRequest, "bad wire mode %q (want full or slim)", wire)
+		return
+	}
+	data, slim, err := e.entry.SnapshotWire(wire == "slim")
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.ops.Snapshots.Inc()
+	s.countWire(e.entry.Type(), slim, len(data))
 	w.Header().Set("Content-Type", "application/octet-stream")
+	if slim {
+		w.Header().Set("X-Sketch-Wire", "slim")
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
 }
@@ -472,6 +495,7 @@ type StatusResponse struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Sketches      int               `json:"sketches"`
 	Ops           core.OpSnapshot   `json:"ops"`
+	Wire          []WireStat        `json:"wire,omitempty"`
 	Tenants       []TenantStat      `json:"tenants"`
 	Durability    durable.Status    `json:"durability"`
 	Replication   ReplicationStatus `json:"replication"`
@@ -490,6 +514,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Sketches:      total,
 		Ops:           s.ops.Snapshot(),
+		Wire:          s.wireStats(),
 		Tenants:       stats,
 		Durability:    s.DurabilityStatus(),
 		Replication:   s.ReplicationStatus(),
@@ -510,6 +535,7 @@ type Statsz struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	AddsPerSec    float64         `json:"adds_per_sec"`
 	Ops           core.OpSnapshot `json:"ops"`
+	Wire          []WireStat      `json:"wire,omitempty"`
 	Tenants       []TenantStat    `json:"tenants"`
 	Sketches      []SketchStat    `json:"sketches"`
 }
@@ -520,6 +546,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	stats := Statsz{
 		UptimeSeconds: uptime,
 		Ops:           ops,
+		Wire:          s.wireStats(),
 		Sketches:      []SketchStat{},
 	}
 	if uptime > 0 {

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	typereg "repro/internal/registry"
+)
+
+// wireCounters tracks one family's snapshot bytes shipped on the wire,
+// split by envelope form. Transmitted bytes are the currency of
+// scatter-gather reads, bundles and federated fan-ins, so they are a
+// first-class counter next to ops — /v1/status and /debug/statsz
+// surface the nonzero rows, which is how the slim-shipping win (and
+// any regression) is observed on a live server.
+type wireCounters struct {
+	fullSnaps core.Counter
+	fullBytes core.Counter
+	slimSnaps core.Counter
+	slimBytes core.Counter
+}
+
+// WireStat is one family's wire-byte row on /v1/status and
+// /debug/statsz.
+type WireStat struct {
+	Type          string `json:"type"`
+	FullSnapshots uint64 `json:"full_snapshots"`
+	FullBytes     uint64 `json:"full_bytes"`
+	SlimSnapshots uint64 `json:"slim_snapshots,omitempty"`
+	SlimBytes     uint64 `json:"slim_bytes,omitempty"`
+}
+
+// newWireCounters prebuilds a counter row per servable family, so the
+// snapshot hot path only ever increments atomics — no locking, no map
+// mutation.
+func newWireCounters() map[string]*wireCounters {
+	m := make(map[string]*wireCounters)
+	for _, d := range typereg.All() {
+		if d.Servable() {
+			m[d.Name] = &wireCounters{}
+		}
+	}
+	return m
+}
+
+// countWire records one served snapshot of the given family.
+func (s *Server) countWire(typeName string, slim bool, bytes int) {
+	wc := s.wire[typeName]
+	if wc == nil {
+		return
+	}
+	if slim {
+		wc.slimSnaps.Inc()
+		wc.slimBytes.Add(uint64(bytes))
+	} else {
+		wc.fullSnaps.Inc()
+		wc.fullBytes.Add(uint64(bytes))
+	}
+}
+
+// wireStats returns the families with wire traffic, sorted by name.
+func (s *Server) wireStats() []WireStat {
+	out := make([]WireStat, 0, 4)
+	for name, wc := range s.wire {
+		st := WireStat{
+			Type:          name,
+			FullSnapshots: wc.fullSnaps.Load(),
+			FullBytes:     wc.fullBytes.Load(),
+			SlimSnapshots: wc.slimSnaps.Load(),
+			SlimBytes:     wc.slimBytes.Load(),
+		}
+		if st.FullSnapshots == 0 && st.SlimSnapshots == 0 {
+			continue
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}

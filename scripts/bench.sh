@@ -1,5 +1,5 @@
 #!/bin/sh
-# Regenerate the benchmark baseline (BENCH_3.json as of PR 7): run the
+# Regenerate the benchmark baseline (BENCH_4.json as of PR 10): run the
 # internal/benchrun hot-path microbenchmark suite via sketchbench and
 # write the JSON report at the repo root. Extra arguments pass through
 # (e.g. -benchtime 100ms for a quick smoke run, -benchout - for

@@ -179,6 +179,9 @@ type (
 	DyadicCountMin = frequency.DyadicCountMin
 	// HeavyHitter is one reported item with its estimated count.
 	HeavyHitter = frequency.Entry
+	// SFSketch is the two-stage Slim-Fat sketch: fat stage absorbs
+	// updates, slim stage ships on the wire.
+	SFSketch = frequency.SFSketch
 )
 
 // NewCountMin creates a width×depth Count-Min sketch.
@@ -210,6 +213,14 @@ func NewCountSketchFused(width, depth int, seed uint64) *CountSketch {
 // depths are raised by one so the median is unambiguous).
 func NewCountSketch(width, depth int, seed uint64) *CountSketch {
 	return frequency.NewCountSketch(width, depth, seed)
+}
+
+// NewSFSketch creates a two-stage SF-sketch: a slimWidth×slimDepth
+// slim stage (the wire representation) backed by a fatWidth×fatDepth
+// fat stage that absorbs every update. MarshalSlim ships the slim
+// stage alone — near-fat accuracy at a fraction of the bytes.
+func NewSFSketch(slimWidth, slimDepth, fatWidth, fatDepth int, seed uint64) *SFSketch {
+	return frequency.NewSFSketch(slimWidth, slimDepth, fatWidth, fatDepth, seed)
 }
 
 // NewMisraGries creates a k-counter Misra–Gries summary.

@@ -58,6 +58,13 @@ func TestZeroAllocHotPaths(t *testing.T) {
 	assertZeroAlloc(t, "cardinality.HLL.Add", func() { h.Add(key) })
 	assertZeroAlloc(t, "cardinality.HLL.AddString", func() { h.AddString(skey) })
 
+	sf := frequency.NewSFSketch(512, 4, 4096, 4, 1)
+	assertZeroAlloc(t, "frequency.SFSketch.AddUint64", func() { sf.AddUint64(42, 1) })
+	assertZeroAlloc(t, "frequency.SFSketch.Add", func() { sf.Add(key, 1) })
+	assertZeroAlloc(t, "frequency.SFSketch.AddString", func() { sf.AddString(skey) })
+	assertZeroAlloc(t, "frequency.SFSketch.EstimateUint64", func() { _ = sf.EstimateUint64(42) })
+	assertZeroAlloc(t, "frequency.SFSketch.EstimateString", func() { _ = sf.EstimateString(skey) })
+
 	acm := concurrent.NewAtomicCountMin(512, 4, 1)
 	assertZeroAlloc(t, "concurrent.AtomicCountMin.AddUint64", func() { acm.AddUint64(42, 1) })
 	assertZeroAlloc(t, "concurrent.AtomicCountMin.AddString", func() { acm.AddString(skey, 1) })
@@ -127,6 +134,10 @@ func TestZeroAllocBlockedAndFusedPaths(t *testing.T) {
 
 	cs := frequency.NewCountSketch(2048, 5, 1)
 	assertZeroAlloc(t, "frequency.CountSketch.AddHashBatch", func() { cs.AddHashBatch(hs) })
+
+	sf := frequency.NewSFSketch(512, 4, 4096, 4, 1)
+	assertZeroAlloc(t, "frequency.SFSketch.AddHashBatch", func() { sf.AddHashBatch(hs) })
+	assertZeroAlloc(t, "frequency.SFSketch.AddBatch", func() { sf.AddBatch(batch) })
 
 	h := cardinality.NewHLL(12, 1)
 	assertZeroAlloc(t, "cardinality.HLL.AddHashBatch", func() { h.AddHashBatch(hs) })
